@@ -1,0 +1,120 @@
+package sudaf_test
+
+// Ablation benchmarks for the design decisions DESIGN.md calls out:
+//
+//   - symbolic-space lookup vs the direct Theorem 4.1 decision procedure
+//     (the point of Section 5: avoid expression transformations at
+//     runtime);
+//   - compiled state loops vs the interpreted accumulator (the rewriting
+//     benefit isolated from joins and grouping);
+//   - worker-count scaling of partitioned partial aggregation (the
+//     "Spark mode" axis);
+//   - coefficient hoisting: state dedup with and without equivalent
+//     spellings of the same aggregate.
+
+import (
+	"testing"
+
+	"sudaf"
+	"sudaf/internal/canonical"
+	"sudaf/internal/data"
+	"sudaf/internal/expr"
+	"sudaf/internal/scalar"
+	"sudaf/internal/sharing"
+	"sudaf/internal/symbolic"
+)
+
+// ---- sharing decision: direct vs precomputed symbolic space ----
+
+func shareOperands() (canonical.State, canonical.State) {
+	s1 := canonical.State{Op: canonical.OpSum,
+		F: scalar.NewChain(scalar.LogP(scalar.E)), Base: &expr.Var{Name: "x"}}
+	s2 := canonical.State{Op: canonical.OpProd,
+		F: scalar.IdentityChain(), Base: &expr.Var{Name: "x"}}
+	return s1, s2
+}
+
+func BenchmarkAblation_ShareDecision_Direct(b *testing.B) {
+	s1, s2 := shareOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := sharing.Share(s1, s2, true); !ok {
+			b.Fatal("share lost")
+		}
+	}
+}
+
+func BenchmarkAblation_ShareDecision_SymbolicLookup(b *testing.B) {
+	sp := symbolic.NewSpace(2)
+	s1, s2 := shareOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := sp.ShareVia(s1.Op, s1.F, s2.Op, s2.F); !ok {
+			b.Fatal("share lost")
+		}
+	}
+}
+
+// ---- interpreted accumulator vs compiled state loops, no joins ----
+
+func BenchmarkAblation_UDAFInterpreted(b *testing.B) {
+	eng := benchEngine(b, false)
+	benchQuery(b, eng, "SELECT cm(internet_traffic) FROM milan_data", sudaf.Baseline)
+}
+
+func BenchmarkAblation_UDAFCompiledStates(b *testing.B) {
+	eng := benchEngine(b, false)
+	benchQuery(b, eng, "SELECT cm(internet_traffic) FROM milan_data", sudaf.Rewrite)
+}
+
+// ---- parallel scaling ----
+
+func benchWorkers(b *testing.B, workers int) {
+	eng := sudaf.Open(sudaf.Options{Workers: workers})
+	if err := eng.Register(data.Milan(1_000_000, 10_000, 8)); err != nil {
+		b.Fatal(err)
+	}
+	benchQuery(b, eng,
+		"SELECT square_id, stddev(internet_traffic) FROM milan_data GROUP BY square_id",
+		sudaf.Rewrite)
+}
+
+func BenchmarkAblation_Workers1(b *testing.B) { benchWorkers(b, 1) }
+func BenchmarkAblation_Workers2(b *testing.B) { benchWorkers(b, 2) }
+func BenchmarkAblation_Workers4(b *testing.B) { benchWorkers(b, 4) }
+func BenchmarkAblation_Workers8(b *testing.B) { benchWorkers(b, 8) }
+
+// ---- hoisting: equivalent spellings share one state ----
+
+func BenchmarkAblation_HoistedSpellings(b *testing.B) {
+	// Three spellings of the same second moment; hoisting collapses them
+	// to a single Σx² state, so the query runs one loop, not three.
+	eng := benchEngine(b, false)
+	if err := eng.DefineUDAF("m2a", []string{"x"}, "sum(x^2)/count()"); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.DefineUDAF("m2b", []string{"x"}, "sum(4*x^2)/(4*count())"); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.DefineUDAF("m2c", []string{"x"}, "sum((2*x)^2)/(4*count())"); err != nil {
+		b.Fatal(err)
+	}
+	benchQuery(b, eng,
+		"SELECT m2a(internet_traffic), m2b(internet_traffic), m2c(internet_traffic) FROM milan_data",
+		sudaf.Rewrite)
+}
+
+// ---- canonicalization of a full workload's UDAF library ----
+
+func BenchmarkAblation_SpaceL1VsL2(b *testing.B) {
+	b.Run("l=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			symbolic.NewSpace(1)
+		}
+	})
+	b.Run("l=2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			symbolic.NewSpace(2)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+// Command datagen writes the synthetic benchmark datasets to CSV files
+// (typed headers readable by sudaf.LoadCSV and the sudaf shell's -load).
+//
+// Usage:
+//
+//	datagen -out ./data -tpcds-scale 2 -milan-rows 4000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sudaf/internal/data"
+)
+
+func main() {
+	out := flag.String("out", "./data", "output directory")
+	scale := flag.Int("tpcds-scale", 1, "TPC-DS-like scale factor (120k rows per unit)")
+	milanRows := flag.Int("milan-rows", 1_000_000, "Milan-like row count")
+	squares := flag.Int("squares", 10_000, "Milan group cardinality")
+	seed := flag.Int64("seed", 20200330, "generator seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("mkdir: %v", err)
+	}
+	for _, t := range data.TPCDS(*scale, *seed) {
+		path := filepath.Join(*out, t.Name+".csv")
+		if err := t.SaveCSVFile(path); err != nil {
+			fatal("write %s: %v", path, err)
+		}
+		fmt.Printf("%s: %d rows\n", path, t.NumRows())
+	}
+	milan := data.Milan(*milanRows, *squares, *seed+1)
+	path := filepath.Join(*out, "milan_data.csv")
+	if err := milan.SaveCSVFile(path); err != nil {
+		fatal("write %s: %v", path, err)
+	}
+	fmt.Printf("%s: %d rows\n", path, milan.NumRows())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,227 @@
+// Command sudaf is an interactive shell for the SUDAF engine: load CSV
+// tables, define UDAFs declaratively, and run SQL in any execution mode.
+//
+// Usage:
+//
+//	sudaf -load sales=sales.csv -load stores=stores.csv
+//
+// Commands inside the shell:
+//
+//	\udaf <name> <params> <expression>   define a UDAF, e.g.
+//	                                     \udaf qm x sqrt(sum(x^2)/count())
+//	\mode baseline|rewrite|share         switch execution mode
+//	\explain <name>                      show a UDAF's canonical form
+//	\views                               list materialized views
+//	\materialize <name> <sql>            create a state view
+//	\cache                               show cache statistics
+//	\space                               dump the symbolic sharing space
+//	\tables                              list tables
+//	\demo                                load a small demo dataset
+//	\quit
+//
+// Anything else is executed as SQL.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"sudaf"
+)
+
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	workers := flag.Int("workers", 0, "engine parallelism (0 = NumCPU)")
+	flag.Var(&loads, "load", "name=path.csv (repeatable)")
+	flag.Parse()
+
+	eng := sudaf.Open(sudaf.Options{Workers: *workers})
+	for _, spec := range loads {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			fatal("bad -load %q, want name=path.csv", spec)
+		}
+		t, err := sudaf.LoadCSV(parts[0], parts[1])
+		if err != nil {
+			fatal("load %s: %v", spec, err)
+		}
+		if err := eng.Register(t); err != nil {
+			fatal("register %s: %v", parts[0], err)
+		}
+		fmt.Printf("loaded %s: %d rows\n", parts[0], t.NumRows())
+	}
+
+	mode := sudaf.Share
+	fmt.Println("SUDAF shell — \\demo loads sample data, \\quit exits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Printf("sudaf[%v]> ", mode)
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if runCommand(eng, line, &mode) {
+				return
+			}
+			continue
+		}
+		start := time.Now()
+		res, err := eng.Query(line, mode)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printTable(res)
+		fmt.Printf("(%d rows, %d base rows scanned, %v", res.Table.NumRows(),
+			res.RowsScanned, time.Since(start).Round(time.Microsecond))
+		if res.FullCacheHit {
+			fmt.Printf(", full cache hit")
+		}
+		if res.UsedView != "" {
+			fmt.Printf(", via view %s", res.UsedView)
+		}
+		fmt.Println(")")
+	}
+}
+
+func runCommand(eng *sudaf.Engine, line string, mode *sudaf.Mode) (quit bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return true
+	case "\\mode":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\mode baseline|rewrite|share")
+			return
+		}
+		switch fields[1] {
+		case "baseline":
+			*mode = sudaf.Baseline
+		case "rewrite":
+			*mode = sudaf.Rewrite
+		case "share":
+			*mode = sudaf.Share
+		default:
+			fmt.Println("unknown mode", fields[1])
+		}
+	case "\\udaf":
+		if len(fields) < 4 {
+			fmt.Println("usage: \\udaf <name> <params,comma-separated> <expression>")
+			return
+		}
+		name := fields[1]
+		params := strings.Split(fields[2], ",")
+		body := strings.Join(fields[3:], " ")
+		if err := eng.DefineUDAF(name, params, body); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if form, ok := eng.Explain(name); ok {
+			fmt.Println(form)
+		}
+	case "\\explain":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\explain <name>")
+			return
+		}
+		if form, ok := eng.Explain(fields[1]); ok {
+			fmt.Println(form)
+		} else {
+			fmt.Println("unknown UDAF", fields[1])
+		}
+	case "\\materialize":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\materialize <name> <sql>")
+			return
+		}
+		if err := eng.Materialize(fields[1], strings.Join(fields[2:], " ")); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("materialized", fields[1])
+		}
+	case "\\cache":
+		st := eng.CacheStats()
+		fmt.Printf("lookups=%d exact=%d shared=%d sign=%d misses=%d evictions=%d\n",
+			st.Lookups, st.ExactHits, st.SharedHits, st.SignHits, st.Misses, st.Evictions)
+	case "\\rewrite":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\rewrite <sql>")
+			return
+		}
+		out, err := eng.RewriteSQL(strings.Join(fields[1:], " "))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(out)
+	case "\\space":
+		fmt.Print(eng.SymbolicSpaceDump())
+	case "\\udafs":
+		fmt.Println(strings.Join(eng.UDAFNames(), ", "))
+	case "\\demo":
+		loadDemo(eng)
+		fmt.Println("demo table 'sales' loaded (region, price, qty; 100k rows)")
+	default:
+		fmt.Println("unknown command", fields[0])
+	}
+	return false
+}
+
+func loadDemo(eng *sudaf.Engine) {
+	rng := rand.New(rand.NewSource(1))
+	t := sudaf.NewTable("sales",
+		sudaf.NewColumn("region", sudaf.Int),
+		sudaf.NewColumn("price", sudaf.Float),
+		sudaf.NewColumn("qty", sudaf.Float))
+	for i := 0; i < 100_000; i++ {
+		t.Col("region").AppendInt(int64(rng.Intn(10)))
+		t.Col("price").AppendFloat(1 + rng.Float64()*99)
+		t.Col("qty").AppendFloat(float64(1 + rng.Intn(20)))
+	}
+	if err := eng.Register(t); err != nil {
+		fmt.Println("error:", err)
+	}
+}
+
+func printTable(res *sudaf.Result) {
+	t := res.Table
+	limit := t.NumRows()
+	if limit > 25 {
+		limit = 25
+	}
+	names := t.ColumnNames()
+	fmt.Println(strings.Join(names, "\t"))
+	for i := 0; i < limit; i++ {
+		row := make([]string, len(t.Cols))
+		for j, c := range t.Cols {
+			row[j] = c.ValueString(i)
+		}
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	if limit < t.NumRows() {
+		fmt.Printf("... (%d more rows)\n", t.NumRows()-limit)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

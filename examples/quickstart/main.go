@@ -1,0 +1,69 @@
+// Quickstart: define UDAFs as mathematical expressions and watch SUDAF
+// share partial aggregates between them.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sudaf"
+)
+
+func main() {
+	eng := sudaf.Open(sudaf.Options{})
+
+	// A small sales table.
+	rng := rand.New(rand.NewSource(7))
+	t := sudaf.NewTable("sales",
+		sudaf.NewColumn("region", sudaf.Int),
+		sudaf.NewColumn("price", sudaf.Float))
+	for i := 0; i < 500_000; i++ {
+		t.Col("region").AppendInt(int64(rng.Intn(8)))
+		t.Col("price").AppendFloat(1 + rng.Float64()*99)
+	}
+	if err := eng.Register(t); err != nil {
+		panic(err)
+	}
+
+	// Define a UDAF declaratively: no initialize/update/merge/evaluate
+	// boilerplate, just the math. (qm, gm, stddev, … are pre-registered;
+	// we define our own here to show the mechanism.)
+	if err := eng.DefineUDAF("rms", []string{"x"}, "sqrt(sum(x^2)/count())"); err != nil {
+		panic(err)
+	}
+	form, _ := eng.Explain("rms")
+	fmt.Println("canonical form:", form)
+
+	// First query computes states (count, Σx²) from base data.
+	res1, err := eng.Query("SELECT region, rms(price) FROM sales GROUP BY region ORDER BY region", sudaf.Share)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rms query: %d groups, scanned %d rows\n", res1.Groups, res1.RowsScanned)
+
+	// Standard deviation needs {count, Σx, Σx²}: Σx² and count are served
+	// from the cache; only Σx requires a scan... and variance after that
+	// is answered with zero base data access.
+	res2, err := eng.Query("SELECT region, stddev(price) FROM sales GROUP BY region ORDER BY region", sudaf.Share)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("stddev query: scanned %d rows\n", res2.RowsScanned)
+
+	res3, err := eng.Query("SELECT region, variance(price), avg(price) FROM sales GROUP BY region ORDER BY region", sudaf.Share)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("variance+avg query: scanned %d rows (full cache hit: %v)\n",
+		res3.RowsScanned, res3.FullCacheHit)
+
+	st := eng.CacheStats()
+	fmt.Printf("cache: %d lookups, %d exact hits, %d shared hits\n",
+		st.Lookups, st.ExactHits, st.SharedHits)
+	for i := 0; i < res3.Table.NumRows() && i < 3; i++ {
+		fmt.Printf("region %s: variance=%s avg=%s\n",
+			res3.Table.Cols[0].ValueString(i),
+			res3.Table.Cols[1].ValueString(i),
+			res3.Table.Cols[2].ValueString(i))
+	}
+}

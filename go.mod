@@ -1,0 +1,3 @@
+module sudaf
+
+go 1.22

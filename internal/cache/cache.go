@@ -1,0 +1,413 @@
+// Package cache implements SUDAF's dynamic aggregation-state cache
+// (Sections 3.2 and 5 of the paper). The cache is keyed on the *data
+// fingerprint* of a query's data part (tables, join conditions,
+// predicates, grouping) — the paper's data dimension — and stores, per
+// fingerprint, a group table: the group keys plus one value vector per
+// cached aggregation state (the computation dimension).
+//
+// Lookups first try exact state-key matches, then the sharing machinery:
+// the precomputed symbolic space answers "does the requested state share
+// a cached one?" in O(1) per candidate, with the direct (verified)
+// decision procedure as the authority. Rewriting functions are applied
+// per group, so a hit costs O(#groups) instead of a base-data scan — the
+// source of the paper's two-orders-of-magnitude speedups.
+//
+// Section 5.3's sign handling is supported through companion states: a
+// product or log state over data that is not provably positive is cached
+// as the pair (Σ ln|b|, Π sgn(b)), from which Π b and the log family are
+// reconstructed.
+package cache
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sudaf/internal/canonical"
+	"sudaf/internal/expr"
+	"sudaf/internal/scalar"
+	"sudaf/internal/sharing"
+	"sudaf/internal/storage"
+	"sudaf/internal/symbolic"
+)
+
+// GroupKey mirrors exec.GroupKey (composite int64 group key).
+type GroupKey = [2]int64
+
+// CachedState is one aggregation state's per-group values.
+type CachedState struct {
+	State canonical.State
+	Vals  []float64
+	// PositiveInput records whether every base value folded into this
+	// state was > 0 (enables the positive-domain sharing cases).
+	PositiveInput bool
+}
+
+// GroupTable is the cached content for one data fingerprint.
+type GroupTable struct {
+	Fingerprint string
+	KeyNames    []string
+	Keys        []GroupKey
+	KeyCols     []*storage.Column // materialized key columns, aligned with Keys
+	states      []*CachedState
+	byKey       map[string]int
+	index       map[GroupKey]int
+}
+
+// NewGroupTable creates an empty group table.
+func NewGroupTable(fp string, keyNames []string, keys []GroupKey, keyCols []*storage.Column) *GroupTable {
+	gt := &GroupTable{
+		Fingerprint: fp,
+		KeyNames:    keyNames,
+		Keys:        keys,
+		KeyCols:     keyCols,
+		byKey:       map[string]int{},
+		index:       make(map[GroupKey]int, len(keys)),
+	}
+	for i, k := range keys {
+		gt.index[k] = i
+	}
+	return gt
+}
+
+// IndexOf returns the group position of a key.
+func (gt *GroupTable) IndexOf(k GroupKey) (int, bool) {
+	i, ok := gt.index[k]
+	return i, ok
+}
+
+// Align reorders values given in the order of keys into this table's
+// group order. It fails when the key sets differ.
+func (gt *GroupTable) Align(keys []GroupKey, vals []float64) ([]float64, bool) {
+	if len(keys) != len(gt.Keys) {
+		return nil, false
+	}
+	out := make([]float64, len(vals))
+	for g, k := range keys {
+		i, ok := gt.index[k]
+		if !ok {
+			return nil, false
+		}
+		out[i] = vals[g]
+	}
+	return out, true
+}
+
+// NumGroups returns the group count.
+func (gt *GroupTable) NumGroups() int { return len(gt.Keys) }
+
+// NumStates returns the number of cached states.
+func (gt *GroupTable) NumStates() int { return len(gt.states) }
+
+// StateKeys lists cached state keys.
+func (gt *GroupTable) StateKeys() []string {
+	out := make([]string, len(gt.states))
+	for i, s := range gt.states {
+		out[i] = s.State.Key()
+	}
+	return out
+}
+
+// AddState inserts or replaces a state's values (length must match).
+func (gt *GroupTable) AddState(cs *CachedState) error {
+	if len(cs.Vals) != len(gt.Keys) {
+		return fmt.Errorf("state %s: %d values for %d groups", cs.State.Key(), len(cs.Vals), len(gt.Keys))
+	}
+	k := cs.State.Key()
+	if i, ok := gt.byKey[k]; ok {
+		gt.states[i] = cs
+		return nil
+	}
+	gt.byKey[k] = len(gt.states)
+	gt.states = append(gt.states, cs)
+	return nil
+}
+
+// Exact returns the cached state with the given key.
+func (gt *GroupTable) Exact(key string) (*CachedState, bool) {
+	if i, ok := gt.byKey[key]; ok {
+		return gt.states[i], true
+	}
+	return nil, false
+}
+
+// bytes approximates the memory footprint for eviction accounting.
+func (gt *GroupTable) bytes() int64 {
+	per := int64(16) // key
+	per += int64(len(gt.states)) * 8
+	return int64(len(gt.Keys))*per + 1024
+}
+
+// ToTable materializes the group table as a storage table (used as a
+// materialized aggregate view for query rewriting, §2's V1). State value
+// columns are named by stateName.
+func (gt *GroupTable) ToTable(name string, stateName func(i int, s *CachedState) string) *storage.Table {
+	t := storage.NewTable(name)
+	for _, kc := range gt.KeyCols {
+		t.AddColumn(kc)
+	}
+	for i, s := range gt.states {
+		col := storage.NewColumn(stateName(i, s), storage.KindFloat)
+		col.F = append(col.F, s.Vals...)
+		t.AddColumn(col)
+	}
+	return t
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Lookups    int64 // state lookup attempts
+	ExactHits  int64 // exact state-key hits
+	SharedHits int64 // hits via Theorem 4.1 rewritings
+	SignHits   int64 // hits via §5.3 sign-split companions
+	Misses     int64
+	Evictions  int64
+}
+
+// Cache is the session-wide state cache with LRU eviction by fingerprint.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[string]*GroupTable
+	order    []string // LRU order, most recent last
+	maxBytes int64
+	curBytes int64
+	space    *symbolic.Space
+	stats    Stats
+}
+
+// New creates a cache with the given byte budget (≤0 means 256 MiB) and
+// an optional precomputed symbolic space for fast sharing lookups.
+func New(maxBytes int64, space *symbolic.Space) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &Cache{entries: map[string]*GroupTable{}, maxBytes: maxBytes, space: space}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+// Entry returns the group table for a fingerprint.
+func (c *Cache) Entry(fp string) (*GroupTable, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gt, ok := c.entries[fp]
+	if ok {
+		c.touch(fp)
+	}
+	return gt, ok
+}
+
+// Put inserts or merges a group table; existing states under the same
+// fingerprint are kept (states accumulate across queries). Incoming
+// state vectors are realigned to the existing entry's group order; if
+// the group sets differ (the underlying data changed), the incoming
+// table replaces the entry.
+func (c *Cache) Put(gt *GroupTable) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.entries[gt.Fingerprint]; ok {
+		c.curBytes -= prev.bytes()
+		replaced := false
+		for _, s := range gt.states {
+			aligned, ok := prev.Align(gt.Keys, s.Vals)
+			if !ok {
+				replaced = true
+				break
+			}
+			_ = prev.AddState(&CachedState{State: s.State, Vals: aligned, PositiveInput: s.PositiveInput})
+		}
+		if replaced {
+			c.entries[gt.Fingerprint] = gt
+			c.curBytes += gt.bytes()
+		} else {
+			c.curBytes += prev.bytes()
+		}
+		c.touch(gt.Fingerprint)
+		c.evict()
+		return
+	}
+	c.entries[gt.Fingerprint] = gt
+	c.order = append(c.order, gt.Fingerprint)
+	c.curBytes += gt.bytes()
+	c.evict()
+}
+
+func (c *Cache) touch(fp string) {
+	for i, f := range c.order {
+		if f == fp {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), fp)
+			return
+		}
+	}
+}
+
+func (c *Cache) evict() {
+	for c.curBytes > c.maxBytes && len(c.order) > 1 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if gt, ok := c.entries[victim]; ok {
+			c.curBytes -= gt.bytes()
+			delete(c.entries, victim)
+			c.stats.Evictions++
+		}
+	}
+}
+
+// Lookup resolves a requested state under a fingerprint: exact match,
+// Theorem 4.1 sharing, or §5.3 sign-split reconstruction. On success it
+// returns the per-group values (freshly materialized if rewritten).
+func (c *Cache) Lookup(fp string, want canonical.State, positiveData bool) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Lookups++
+	gt, ok := c.entries[fp]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.touch(fp)
+	if cs, ok := gt.Exact(want.Key()); ok {
+		c.stats.ExactHits++
+		return cs.Vals, true
+	}
+	// Sharing pass: find a cached state the request shares.
+	for _, cand := range gt.states {
+		if cand.State.Op == canonical.OpCount && want.Op != canonical.OpCount {
+			continue
+		}
+		pos := positiveData || cand.PositiveInput
+		// Fast path: the precomputed symbolic digraph.
+		if c.space != nil && sameBase(want, cand.State) {
+			if r, ok := c.space.ShareVia(want.Op, want.F.NormalizeReal(), cand.State.Op, cand.State.F.NormalizeReal()); ok && pos {
+				// Confirm with the verified direct procedure, then apply.
+				if _, confirmed := sharing.Share(want, cand.State, pos); confirmed {
+					vals := applyScalar(r, cand.Vals)
+					c.stats.SharedHits++
+					c.storeDerived(gt, want, vals, cand.PositiveInput)
+					return vals, true
+				}
+			}
+		}
+		if r, ok := sharing.Share(want, cand.State, pos); ok {
+			fn, err := r.Compile()
+			if err != nil {
+				continue
+			}
+			vals := applyScalar(fn, cand.Vals)
+			c.stats.SharedHits++
+			c.storeDerived(gt, want, vals, cand.PositiveInput)
+			return vals, true
+		}
+	}
+	// Sign-split reconstruction (§5.3): Π b from (Σ ln|b|, Π sgn b);
+	// Σ a·ln|b|-shaped states likewise.
+	if vals, ok := c.signSplitLookup(gt, want); ok {
+		c.stats.SignHits++
+		c.storeDerived(gt, want, vals, false)
+		return vals, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// storeDerived caches a rewritten state's materialized values so repeated
+// requests become exact hits.
+func (c *Cache) storeDerived(gt *GroupTable, st canonical.State, vals []float64, pos bool) {
+	c.curBytes -= gt.bytes()
+	_ = gt.AddState(&CachedState{State: st, Vals: vals, PositiveInput: pos})
+	c.curBytes += gt.bytes()
+}
+
+func sameBase(a, b canonical.State) bool {
+	return a.Base != nil && b.Base != nil && a.Base.String() == b.Base.String()
+}
+
+func applyScalar(fn func(float64) float64, in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = fn(v)
+	}
+	return out
+}
+
+// SignSplitStates returns the companion states that must be cached for a
+// log/product-family state over a base b that is not provably positive:
+// Σ ln|b| and Π sgn(b) (the paper's X̂ translation).
+func SignSplitStates(base expr.Node) (lnAbs, sgnProd canonical.State) {
+	absBase := expr.Simplify(&expr.Call{Name: "abs", Args: []expr.Node{base}})
+	sgnBase := expr.Simplify(&expr.Call{Name: "sgn", Args: []expr.Node{base}})
+	lnAbs = canonical.State{
+		Op:   canonical.OpSum,
+		F:    scalar.NewChain(scalar.LogP(scalar.E)),
+		Base: absBase,
+	}
+	sgnProd = canonical.State{
+		Op:   canonical.OpProd,
+		F:    scalar.IdentityChain(),
+		Base: sgnBase,
+	}
+	return lnAbs, sgnProd
+}
+
+// signSplitLookup reconstructs states from sign-split companions.
+func (c *Cache) signSplitLookup(gt *GroupTable, want canonical.State) ([]float64, bool) {
+	if want.Op != canonical.OpProd && want.Op != canonical.OpSum {
+		return nil, false
+	}
+	if want.Base == nil {
+		return nil, false
+	}
+	lnAbs, sgnProd := SignSplitStates(want.Base)
+	ln, ok1 := gt.Exact(lnAbs.Key())
+	sg, ok2 := gt.Exact(sgnProd.Key())
+	if !ok1 {
+		return nil, false
+	}
+	f := want.F.NormalizeReal()
+	switch want.Op {
+	case canonical.OpProd:
+		// Π b = sgn-product · exp(Σ ln|b|); Π b^k likewise.
+		if !ok2 {
+			return nil, false
+		}
+		if f.IsIdentity() {
+			out := make([]float64, len(ln.Vals))
+			for i := range out {
+				out[i] = sg.Vals[i] * math.Exp(ln.Vals[i])
+			}
+			return out, true
+		}
+	case canonical.OpSum:
+		// Σ ln(b²) = 2·Σ ln|b| and other even-log shapes: f = ln ∘ b^k
+		// with k even means |·| is implicit.
+		if len(f.Prims) == 2 &&
+			f.Prims[0].Kind == scalar.KPower &&
+			f.Prims[1].Kind == scalar.KLog {
+			if k, ok := coefOf(f.Prims[0]); ok && k == math.Trunc(k) && int64(k)%2 == 0 {
+				out := make([]float64, len(ln.Vals))
+				for i := range out {
+					out[i] = k * ln.Vals[i]
+				}
+				return out, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func coefOf(p scalar.Prim) (float64, bool) {
+	v, err := scalar.CEval(p.A, nil)
+	return v, err == nil
+}

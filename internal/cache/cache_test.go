@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sudaf/internal/canonical"
+	"sudaf/internal/expr"
+	"sudaf/internal/scalar"
+	"sudaf/internal/storage"
+	"sudaf/internal/symbolic"
+)
+
+func mkGT(fp string, n int) *GroupTable {
+	keys := make([]GroupKey, n)
+	kc := storage.NewColumn("g", storage.KindInt)
+	for i := 0; i < n; i++ {
+		keys[i] = GroupKey{int64(i), 0}
+		kc.AppendInt(int64(i))
+	}
+	return NewGroupTable(fp, []string{"g"}, keys, []*storage.Column{kc})
+}
+
+func st(op canonical.AggOp, base string, prims ...scalar.Prim) canonical.State {
+	return canonical.State{Op: op, F: scalar.NewChain(prims...), Base: expr.MustParse(base)}
+}
+
+func TestExactHit(t *testing.T) {
+	c := New(0, nil)
+	gt := mkGT("fp1", 3)
+	s := st(canonical.OpSum, "x", scalar.PowerP(2))
+	if err := gt.AddState(&CachedState{State: s, Vals: []float64{1, 2, 3}, PositiveInput: true}); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(gt)
+	vals, ok := c.Lookup("fp1", s, true)
+	if !ok || vals[2] != 3 {
+		t.Fatalf("exact hit failed: %v %v", vals, ok)
+	}
+	if c.Stats().ExactHits != 1 {
+		t.Errorf("stats: %+v", c.Stats())
+	}
+}
+
+func TestMissOnWrongFingerprint(t *testing.T) {
+	c := New(0, nil)
+	gt := mkGT("fp1", 2)
+	s := st(canonical.OpSum, "x")
+	_ = gt.AddState(&CachedState{State: s, Vals: []float64{1, 2}})
+	c.Put(gt)
+	if _, ok := c.Lookup("fp-other", s, true); ok {
+		t.Fatal("lookup must respect the data fingerprint")
+	}
+}
+
+func TestSharedHitViaTheorem41(t *testing.T) {
+	c := New(0, symbolic.NewSpace(2))
+	gt := mkGT("fp", 4)
+	// Cache Σ ln x; request Π x — case 2.3, r = exp.
+	lnState := st(canonical.OpSum, "x", scalar.LogP(scalar.E))
+	vals := []float64{0, math.Log(2), math.Log(6), math.Log(24)}
+	_ = gt.AddState(&CachedState{State: lnState, Vals: vals, PositiveInput: true})
+	c.Put(gt)
+	prodState := st(canonical.OpProd, "x")
+	got, ok := c.Lookup("fp", prodState, true)
+	if !ok {
+		t.Fatal("Πx should be served from Σln x")
+	}
+	want := []float64{1, 2, 6, 24}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("group %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if c.Stats().SharedHits != 1 {
+		t.Errorf("stats: %+v", c.Stats())
+	}
+	// Second lookup becomes an exact hit (derived state materialized).
+	if _, ok := c.Lookup("fp", prodState, true); !ok {
+		t.Fatal("derived state should be cached")
+	}
+	if c.Stats().ExactHits != 1 {
+		t.Errorf("derived state not materialized: %+v", c.Stats())
+	}
+}
+
+func TestNoShareAcrossBases(t *testing.T) {
+	c := New(0, nil)
+	gt := mkGT("fp", 2)
+	_ = gt.AddState(&CachedState{State: st(canonical.OpSum, "x"), Vals: []float64{1, 2}, PositiveInput: true})
+	c.Put(gt)
+	if _, ok := c.Lookup("fp", st(canonical.OpSum, "y"), true); ok {
+		t.Fatal("states over different base columns must not share")
+	}
+}
+
+func TestSignSplitReconstruction(t *testing.T) {
+	c := New(0, nil)
+	gt := mkGT("fp", 2)
+	lnAbs, sgnProd := SignSplitStates(expr.MustParse("x"))
+	// Group 0: values {2, 3} → Σln|x| = ln6, Πsgn = 1.
+	// Group 1: values {-2, 3} → Σln|x| = ln6, Πsgn = -1.
+	_ = gt.AddState(&CachedState{State: lnAbs, Vals: []float64{math.Log(6), math.Log(6)}})
+	_ = gt.AddState(&CachedState{State: sgnProd, Vals: []float64{1, -1}})
+	c.Put(gt)
+	got, ok := c.Lookup("fp", st(canonical.OpProd, "x"), false)
+	if !ok {
+		t.Fatal("Πx should reconstruct from sign-split companions")
+	}
+	if math.Abs(got[0]-6) > 1e-9 || math.Abs(got[1]+6) > 1e-9 {
+		t.Errorf("got %v, want [6 -6]", got)
+	}
+	// Σ ln(x²) = 2Σln|x| also served.
+	lnSq := st(canonical.OpSum, "x", scalar.PowerP(2), scalar.LogP(scalar.E))
+	got2, ok := c.Lookup("fp", lnSq, false)
+	if !ok {
+		t.Fatal("Σln(x²) should reconstruct from Σln|x|")
+	}
+	if math.Abs(got2[0]-2*math.Log(6)) > 1e-9 {
+		t.Errorf("got %v", got2)
+	}
+	if c.Stats().SignHits != 2 {
+		t.Errorf("stats: %+v", c.Stats())
+	}
+}
+
+func TestPutMergesStates(t *testing.T) {
+	c := New(0, nil)
+	gt1 := mkGT("fp", 2)
+	_ = gt1.AddState(&CachedState{State: st(canonical.OpSum, "x"), Vals: []float64{1, 2}})
+	c.Put(gt1)
+	gt2 := mkGT("fp", 2)
+	_ = gt2.AddState(&CachedState{State: st(canonical.OpSum, "x", scalar.PowerP(2)), Vals: []float64{1, 4}})
+	c.Put(gt2)
+	entry, ok := c.Entry("fp")
+	if !ok || entry.NumStates() != 2 {
+		t.Fatalf("merge failed: %d states", entry.NumStates())
+	}
+}
+
+func TestEviction(t *testing.T) {
+	c := New(4096, nil) // tiny budget
+	for i := 0; i < 50; i++ {
+		gt := mkGT(fmt.Sprintf("fp%d", i), 100)
+		_ = gt.AddState(&CachedState{State: st(canonical.OpSum, "x"), Vals: make([]float64, 100)})
+		c.Put(gt)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("expected evictions under a tiny budget")
+	}
+	// The most recent entry must survive.
+	if _, ok := c.Entry("fp49"); !ok {
+		t.Error("most recent entry evicted")
+	}
+}
+
+func TestToTable(t *testing.T) {
+	gt := mkGT("fp", 3)
+	_ = gt.AddState(&CachedState{State: st(canonical.OpSum, "x"), Vals: []float64{1, 2, 3}})
+	_ = gt.AddState(&CachedState{State: canonical.State{Op: canonical.OpCount, Base: &expr.Num{Val: 1}}, Vals: []float64{10, 20, 30}})
+	tbl := gt.ToTable("v1", func(i int, s *CachedState) string { return fmt.Sprintf("s%d", i+1) })
+	if tbl.NumRows() != 3 || tbl.Col("s1") == nil || tbl.Col("s2") == nil || tbl.Col("g") == nil {
+		t.Fatalf("bad view table: %v rows, cols %v", tbl.NumRows(), tbl.ColumnNames())
+	}
+	if tbl.Col("s2").F[1] != 20 {
+		t.Errorf("state column misaligned")
+	}
+}
+
+func TestAddStateLengthMismatch(t *testing.T) {
+	gt := mkGT("fp", 3)
+	err := gt.AddState(&CachedState{State: st(canonical.OpSum, "x"), Vals: []float64{1}})
+	if err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}

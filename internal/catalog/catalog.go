@@ -1,0 +1,84 @@
+// Package catalog is the schema registry of the SUDAF engine: it maps
+// table names to columnar tables and answers column-resolution queries
+// for the planner (which table owns a column, assuming the star-schema
+// convention of globally unique column names).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"sudaf/internal/storage"
+)
+
+// Catalog holds the registered tables of a session.
+type Catalog struct {
+	tables map[string]*storage.Table
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: map[string]*storage.Table{}}
+}
+
+// Register adds or replaces a table; the table must validate.
+func (c *Catalog) Register(t *storage.Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.Name == "" {
+		return fmt.Errorf("cannot register unnamed table")
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) { delete(c.tables, name) }
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*storage.Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Has reports whether a table is registered.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.tables[name]
+	return ok
+}
+
+// Names returns registered table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveColumn finds the unique table among candidates that owns the
+// column. Ambiguity or absence is an error.
+func (c *Catalog) ResolveColumn(col string, among []string) (*storage.Table, error) {
+	var owner *storage.Table
+	for _, name := range among {
+		t, err := c.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if t.HasColumn(col) {
+			if owner != nil {
+				return nil, fmt.Errorf("column %q is ambiguous between %s and %s", col, owner.Name, t.Name)
+			}
+			owner = t
+		}
+	}
+	if owner == nil {
+		return nil, fmt.Errorf("column %q not found in tables %v", col, among)
+	}
+	return owner, nil
+}

@@ -1,0 +1,80 @@
+package catalog
+
+import (
+	"testing"
+
+	"sudaf/internal/storage"
+)
+
+func tbl(name string, cols ...string) *storage.Table {
+	t := storage.NewTable(name)
+	for _, c := range cols {
+		t.AddColumn(storage.NewColumn(c, storage.KindInt))
+	}
+	return t
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := New()
+	if err := c.Register(tbl("a", "x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(tbl("b", "z")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("a") || c.Has("missing") {
+		t.Error("Has broken")
+	}
+	got, err := c.Table("a")
+	if err != nil || got.Name != "a" {
+		t.Fatalf("Table: %v %v", got, err)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("missing table should error")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	c.Drop("a")
+	if c.Has("a") {
+		t.Error("Drop failed")
+	}
+}
+
+func TestRegisterInvalid(t *testing.T) {
+	c := New()
+	bad := storage.NewTable("bad", storage.NewColumn("a", storage.KindInt), storage.NewColumn("b", storage.KindInt))
+	bad.Col("a").AppendInt(1) // ragged
+	if err := c.Register(bad); err == nil {
+		t.Error("ragged table must not register")
+	}
+	unnamed := storage.NewTable("")
+	if err := c.Register(unnamed); err == nil {
+		t.Error("unnamed table must not register")
+	}
+}
+
+func TestResolveColumn(t *testing.T) {
+	c := New()
+	_ = c.Register(tbl("a", "x", "y"))
+	_ = c.Register(tbl("b", "z", "y")) // y is ambiguous between a and b
+	owner, err := c.ResolveColumn("x", []string{"a", "b"})
+	if err != nil || owner.Name != "a" {
+		t.Fatalf("resolve x: %v %v", owner, err)
+	}
+	if _, err := c.ResolveColumn("y", []string{"a", "b"}); err == nil {
+		t.Error("ambiguous column should error")
+	}
+	if _, err := c.ResolveColumn("w", []string{"a", "b"}); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := c.ResolveColumn("x", []string{"a", "missing"}); err == nil {
+		t.Error("unknown table should error")
+	}
+	// Unambiguous when scoped to one table.
+	owner, err = c.ResolveColumn("y", []string{"b"})
+	if err != nil || owner.Name != "b" {
+		t.Fatalf("scoped resolve: %v %v", owner, err)
+	}
+}

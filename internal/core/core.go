@@ -1,0 +1,252 @@
+// Package core implements the SUDAF framework itself — the paper's
+// primary contribution. A Session owns the catalog, the execution engine,
+// the UDAF registry (declarative mathematical expressions canonicalized
+// into aggregation states), the precomputed symbolic sharing space, the
+// dynamic state cache, and the materialized state views used for
+// aggregate-view rewriting.
+//
+// Queries run in one of three modes mirroring the paper's experimental
+// systems:
+//
+//	ModeBaseline — "PostgreSQL / Spark SQL": built-in aggregates run
+//	  native fast paths; UDAFs run as hardcoded, per-tuple interpreted
+//	  accumulators (the PL/pgSQL / UserDefinedAggregateFunction model).
+//	ModeRewrite  — "SUDAF (no share)": every aggregate is decomposed
+//	  into aggregation states computed by compiled built-in loops, with
+//	  the terminating function applied per group (queries RQ1/RQ2).
+//	ModeShare    — "SUDAF (share)": ModeRewrite plus the dynamic cache:
+//	  states are served from cache exactly, through Theorem 4.1
+//	  rewritings, or via §5.3 sign-split reconstruction; only missing
+//	  states touch base data.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"sudaf/internal/cache"
+	"sudaf/internal/canonical"
+	"sudaf/internal/catalog"
+	"sudaf/internal/exec"
+	"sudaf/internal/expr"
+	"sudaf/internal/rewrite"
+	"sudaf/internal/sketch"
+	"sudaf/internal/storage"
+	"sudaf/internal/symbolic"
+)
+
+// Mode selects how aggregate functions execute.
+type Mode int
+
+const (
+	// ModeBaseline models PostgreSQL/Spark SQL with hardcoded UDAFs.
+	ModeBaseline Mode = iota
+	// ModeRewrite is SUDAF without sharing.
+	ModeRewrite
+	// ModeShare is SUDAF with the dynamic state cache.
+	ModeShare
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeRewrite:
+		return "sudaf-noshare"
+	case ModeShare:
+		return "sudaf-share"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures a session.
+type Options struct {
+	// Workers is the engine parallelism: 1 = "PostgreSQL mode" (serial),
+	// 0 = all CPUs = "Spark mode".
+	Workers int
+	// CacheBytes bounds the state cache (≤0: 256 MiB).
+	CacheBytes int64
+	// SymbolicL bounds the precomputed symbolic space (default 2).
+	SymbolicL int
+	// DisableViews turns off aggregate-view rewriting.
+	DisableViews bool
+}
+
+// Session is a SUDAF instance bound to a catalog of tables.
+type Session struct {
+	mu           sync.Mutex
+	cat          *catalog.Catalog
+	eng          *exec.Engine
+	cache        *cache.Cache
+	space        *symbolic.Space
+	udafs        map[string]*canonical.Form
+	builtinForms map[string]*canonical.Form
+	views        map[string]*rewrite.View
+
+	// EnableViewRewriting gates Q3→RQ3'-style roll-ups.
+	EnableViewRewriting bool
+	// tempSeq numbers materialized subqueries.
+	tempSeq int
+}
+
+// NewSession creates a session with the built-in UDAF library registered.
+func NewSession(opts Options) *Session {
+	if opts.Workers == 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	l := opts.SymbolicL
+	if l <= 0 {
+		l = 2
+	}
+	cat := catalog.New()
+	space := symbolic.NewSpace(l)
+	s := &Session{
+		cat:                 cat,
+		eng:                 exec.NewEngine(cat, opts.Workers),
+		cache:               cache.New(opts.CacheBytes, space),
+		space:               space,
+		udafs:               map[string]*canonical.Form{},
+		views:               map[string]*rewrite.View{},
+		EnableViewRewriting: !opts.DisableViews,
+	}
+	s.registerBuiltinLibrary()
+	return s
+}
+
+// Catalog exposes the session's catalog.
+func (s *Session) Catalog() *catalog.Catalog { return s.cat }
+
+// CacheStats returns cache counters.
+func (s *Session) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// ResetCacheStats zeroes cache counters.
+func (s *Session) ResetCacheStats() { s.cache.ResetStats() }
+
+// ClearCache drops all cached states (fresh-cache experiments).
+func (s *Session) ClearCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := s.space
+	s.cache = cache.New(0, sp)
+}
+
+// Space exposes the precomputed symbolic space.
+func (s *Session) Space() *symbolic.Space { return s.space }
+
+// Register adds a table to the catalog.
+func (s *Session) Register(t *storage.Table) error { return s.cat.Register(t) }
+
+// DefineUDAF registers a UDAF from its mathematical expression, e.g.
+//
+//	DefineUDAF("qm", []string{"x"}, "sqrt(sum(x^2)/count())")
+//
+// The expression is canonicalized immediately; errors surface here, not
+// at query time.
+func (s *Session) DefineUDAF(name string, params []string, body string) error {
+	name = strings.ToLower(name)
+	if _, builtin := exec.LookupBuiltin(name); builtin {
+		return fmt.Errorf("%q is a built-in aggregate", name)
+	}
+	node, err := expr.Parse(body)
+	if err != nil {
+		return fmt.Errorf("UDAF %s: %w", name, err)
+	}
+	form, err := canonical.Decompose(name, params, node)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.udafs[name] = form
+	return nil
+}
+
+// DefineSketchUDAF registers a UDAF whose terminating function is
+// hardcoded Go over moment-sketch states (§4.1 scenario 2): quantile q
+// approximated from MS(k).
+func (s *Session) DefineSketchUDAF(name string, k int, q float64) error {
+	form, err := sketch.QuantileForm(name, k, q)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.udafs[strings.ToLower(name)] = form
+	return nil
+}
+
+// UDAF returns a registered UDAF's canonical form.
+func (s *Session) UDAF(name string) (*canonical.Form, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.udafs[strings.ToLower(name)]
+	return f, ok
+}
+
+// UDAFNames lists registered UDAFs.
+func (s *Session) UDAFNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.udafs))
+	for n := range s.udafs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// isAgg reports whether a call name denotes an aggregate in this session.
+func (s *Session) isAgg(name string) bool {
+	if _, ok := exec.LookupBuiltin(name); ok {
+		return true
+	}
+	_, ok := s.udafs[name]
+	return ok
+}
+
+// registerBuiltinLibrary installs the paper's aggregations (Table 1 and
+// the experiment workloads) as declarative UDAFs.
+func (s *Session) registerBuiltinLibrary() {
+	lib := []struct {
+		name   string
+		params []string
+		body   string
+	}{
+		{"qm", []string{"x"}, "sqrt(sum(x^2)/count())"},    // quadratic mean
+		{"cm", []string{"x"}, "(sum(x^3)/count())^(1/3)"},  // cubic mean
+		{"gm", []string{"x"}, "prod(x)^(1/count())"},       // geometric mean
+		{"hm", []string{"x"}, "count()/sum(x^(-1))"},       // harmonic mean
+		{"apm", []string{"x"}, "(sum(x^4)/count())^(1/4)"}, // power mean p=4
+		{"logsumexp", []string{"x"}, "ln(sum(exp(x)))"},    // LogSumExp
+		{"theta1", []string{"x", "y"}, "(count()*sum(x*y)-sum(y)*sum(x))/(count()*sum(x^2)-sum(x)^2)"},
+		{"theta0", []string{"x", "y"}, "sum(y)/count() - ((count()*sum(x*y)-sum(y)*sum(x))/(count()*sum(x^2)-sum(x)^2))*(sum(x)/count())"},
+		{"covariance", []string{"x", "y"}, "sum(x*y)/n - sum(x)*sum(y)/n^2"},
+		{"correlation", []string{"x", "y"},
+			"(n*sum(x*y)-sum(x)*sum(y))/(sqrt(n*sum(x^2)-sum(x)^2)*sqrt(n*sum(y^2)-sum(y)^2))"},
+		{"skewness", []string{"x"},
+			"(sum(x^3)/n - 3*(sum(x)/n)*(sum(x^2)/n) + 2*(sum(x)/n)^3)/(sum(x^2)/n - (sum(x)/n)^2)^1.5"},
+		{"kurtosis", []string{"x"},
+			"(sum(x^4)/n - 4*(sum(x)/n)*(sum(x^3)/n) + 6*(sum(x)/n)^2*(sum(x^2)/n) - 3*(sum(x)/n)^4)/(sum(x^2)/n - (sum(x)/n)^2)^2"},
+	}
+	for _, d := range lib {
+		if err := s.DefineUDAF(d.name, d.params, d.body); err != nil {
+			panic(fmt.Sprintf("builtin library: %v", err))
+		}
+	}
+	for _, d := range []struct {
+		name string
+		q    float64
+	}{
+		{"approx_median", 0.5},
+		{"approx_first_quantile", 0.25},
+		{"approx_third_quantile", 0.75},
+	} {
+		if err := s.DefineSketchUDAF(d.name, sketch.DefaultK, d.q); err != nil {
+			panic(fmt.Sprintf("sketch library: %v", err))
+		}
+	}
+	// moment_sketch(x) computes and caches the MS(k=10) states with a
+	// trivial terminating function — the AS2 prefetch operator.
+	s.udafs["moment_sketch"] = sketch.PrefetchForm("moment_sketch", sketch.DefaultK)
+}

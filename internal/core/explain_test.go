@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRewriteSQLProducesRQ1Shape(t *testing.T) {
+	s := newTestSession(t, 100, 1)
+	out, err := s.RewriteSQL(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewriting must compute partial aggregates with built-ins in a
+	// derived table (the RQ1 shape of the paper).
+	for _, want := range []string{
+		"count(*)", "sum(ss_list_price)", "sum((ss_list_price)^2)",
+		"sum(ss_sales_price)", "FROM (SELECT", ") TEMP",
+		"GROUP BY ss_item_sk, d_year",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rewritten SQL missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly five states, shared across theta1 and the two avg calls.
+	if !strings.Contains(out, "s5") || strings.Contains(out, "s6") {
+		t.Errorf("expected exactly 5 states:\n%s", out)
+	}
+}
+
+func TestRewriteSQLGeometricMean(t *testing.T) {
+	s := newTestSession(t, 100, 1)
+	out, err := s.RewriteSQL("SELECT ss_item_sk, gm(ss_list_price) FROM store_sales GROUP BY ss_item_sk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Π is spelled exp(sum(ln(...))) for engines without a product
+	// aggregate.
+	if !strings.Contains(out, "exp(sum(ln(ss_list_price)))") {
+		t.Errorf("gm rewriting:\n%s", out)
+	}
+}
+
+func TestRewriteSQLRoundTripsThroughParser(t *testing.T) {
+	// The generated SQL must itself parse and (modulo the synthetic
+	// product spelling) be executable by the engine.
+	s := newTestSession(t, 2000, 1)
+	out, err := s.RewriteSQL(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(out, ModeRewrite)
+	if err != nil {
+		t.Fatalf("rewritten SQL does not execute: %v\n%s", err, out)
+	}
+	direct, err := s.Query(q2, ModeRewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != direct.Table.NumRows() {
+		t.Fatalf("row mismatch: %d vs %d", res.Table.NumRows(), direct.Table.NumRows())
+	}
+	tablesEqual(t, direct.Table, res.Table, "rewritten vs direct")
+}
+
+func TestRewriteSQLErrors(t *testing.T) {
+	s := newTestSession(t, 10, 1)
+	if _, err := s.RewriteSQL("SELECT ss_item_sk FROM store_sales"); err == nil {
+		t.Error("no aggregates should error")
+	}
+	if _, err := s.RewriteSQL("not sql"); err == nil {
+		t.Error("bad SQL should error")
+	}
+}

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"fmt"
+
+	"sudaf/internal/cache"
+	"sudaf/internal/canonical"
+	"sudaf/internal/exec"
+	"sudaf/internal/expr"
+	"sudaf/internal/rewrite"
+	"sudaf/internal/scalar"
+	"sudaf/internal/sqlparse"
+	"sudaf/internal/storage"
+)
+
+// Result is a finished SUDAF query.
+type Result struct {
+	Table *storage.Table
+	// RowsScanned is the number of joined base rows read; 0 means the
+	// query was answered entirely from the cache.
+	RowsScanned int
+	// Groups before LIMIT.
+	Groups int
+	// UsedView names the materialized view a roll-up rewriting used.
+	UsedView string
+	// FullCacheHit reports that no execution was needed.
+	FullCacheHit bool
+}
+
+// Query parses and runs a SQL statement in the given mode.
+func (s *Session) Query(sql string, mode Mode) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.runStmt(stmt, mode, 0)
+}
+
+func (s *Session) runStmt(stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, error) {
+	if depth > 4 {
+		return nil, fmt.Errorf("subquery nesting too deep")
+	}
+	// Materialize derived tables bottom-up.
+	var temps []string
+	defer func() {
+		for _, t := range temps {
+			s.cat.Drop(t)
+		}
+	}()
+	for i, ref := range stmt.From {
+		if ref.Sub == nil {
+			continue
+		}
+		sub, err := s.runStmt(ref.Sub, mode, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		sub.Table.Name = ref.Alias
+		if err := s.cat.Register(sub.Table); err != nil {
+			return nil, err
+		}
+		temps = append(temps, ref.Alias)
+		stmt.From[i] = sqlparse.TableRef{Name: ref.Alias}
+	}
+
+	if !s.hasAggregates(stmt) && len(stmt.GroupBy) == 0 {
+		r, err := s.eng.RunSimple(stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: r.Table, RowsScanned: r.Rows, Groups: r.Groups}, nil
+	}
+
+	dp, err := s.eng.PrepareData(stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Extract aggregate calls into placeholders.
+	var calls []*expr.Call
+	items := make([]sqlparse.SelectItem, len(stmt.Select))
+	for i, item := range stmt.Select {
+		items[i] = sqlparse.SelectItem{
+			Expr:  exec.ExtractAggCalls(item.Expr, s.isAgg, &calls),
+			Alias: item.Alias,
+		}
+	}
+	spec := exec.OutputSpec{Items: items}
+	reg := exec.NewTaskRegistry()
+
+	if mode == ModeBaseline {
+		for _, call := range calls {
+			fin, err := s.baselineFinisher(call, reg)
+			if err != nil {
+				return nil, err
+			}
+			spec.Finishers = append(spec.Finishers, fin)
+		}
+		gr, err := s.eng.RunSpecs(dp, reg)
+		if err != nil {
+			return nil, err
+		}
+		out, err := exec.BuildOutput(stmt, dp, gr, spec)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: out.Table, RowsScanned: gr.Rows, Groups: out.Groups}, nil
+	}
+
+	return s.runSUDAF(stmt, dp, calls, spec, reg, mode)
+}
+
+func (s *Session) hasAggregates(stmt *sqlparse.Stmt) bool {
+	found := false
+	for _, item := range stmt.Select {
+		expr.Walk(item.Expr, func(n expr.Node) bool {
+			if c, ok := n.(*expr.Call); ok && s.isAgg(c.Name) {
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// slot is one unique bound aggregation state needed by the query.
+type slot struct {
+	st       canonical.State
+	positive bool
+	taskIdx  int // index in the task registry, -1 when cached
+	cached   []float64
+	finalIdx int // index into the assembled value matrix
+}
+
+// runSUDAF executes a query in ModeRewrite or ModeShare.
+func (s *Session) runSUDAF(stmt *sqlparse.Stmt, dp *exec.DataPlan, calls []*expr.Call,
+	spec exec.OutputSpec, reg *exec.TaskRegistry, mode Mode) (*Result, error) {
+
+	slots := map[string]*slot{}
+	var slotOrder []string
+	getSlot := func(st canonical.State, positive bool) *slot {
+		key := st.Key()
+		if sl, ok := slots[key]; ok {
+			return sl
+		}
+		sl := &slot{st: st, positive: positive, taskIdx: -1}
+		slots[key] = sl
+		slotOrder = append(slotOrder, key)
+		return sl
+	}
+
+	// Decompose every aggregate call into bound states + a finisher.
+	for _, call := range calls {
+		form, err := s.formFor(call.Name)
+		if err != nil {
+			return nil, err
+		}
+		if len(call.Args) != len(form.Params) {
+			return nil, fmt.Errorf("%s takes %d argument(s), got %d", call.Name, len(form.Params), len(call.Args))
+		}
+		bind := map[string]expr.Node{}
+		for i, p := range form.Params {
+			bind[p] = call.Args[i]
+		}
+		callSlots := make([]*slot, len(form.States))
+		for j, st := range form.States {
+			bs := st
+			if st.Op != canonical.OpCount {
+				bs.Base = expr.Simplify(expr.Substitute(st.Base, bind))
+			}
+			callSlots[j] = getSlot(bs, s.basePositive(bs.Base, dp.Tables()))
+		}
+		tfn, err := form.CompileT()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", call.Name, err)
+		}
+		cs := callSlots
+		buf := make([]float64, len(cs))
+		spec.Finishers = append(spec.Finishers, func(vals [][]float64, g int) float64 {
+			for j, sl := range cs {
+				buf[j] = vals[sl.finalIdx][g]
+			}
+			return tfn(buf)
+		})
+	}
+
+	// Cache consultation (share mode only).
+	var entry *cache.GroupTable
+	entryOK := false
+	if mode == ModeShare {
+		entry, entryOK = s.cache.Entry(dp.Fingerprint)
+		for _, key := range slotOrder {
+			sl := slots[key]
+			if vals, ok := s.cache.Lookup(dp.Fingerprint, sl.st, sl.positive); ok {
+				sl.cached = vals
+			}
+		}
+	}
+
+	var missing []*slot
+	for _, key := range slotOrder {
+		if sl := slots[key]; sl.cached == nil {
+			missing = append(missing, sl)
+		}
+	}
+
+	// Aggregate-view rewriting for the missing states (Q3 → RQ3').
+	dpRun := dp
+	usedView := ""
+	if len(missing) > 0 && s.EnableViewRewriting && len(s.views) > 0 && !entryOK {
+		if dpv, rollup, name := s.tryViews(dp, missing); dpv != nil {
+			dpRun = dpv
+			usedView = name
+			for _, sl := range missing {
+				st := rewrite.RollupState(sl.st, rollup.StateCol[sl.st.Key()])
+				sl.taskIdx = addStateTask(reg, st, sl.st.Key())
+			}
+			missing = nil
+		}
+	}
+
+	// Remaining missing states execute from base data, plus §5.3
+	// sign-split companions for states that need them.
+	var companions []*slot
+	for _, sl := range missing {
+		sl.taskIdx = addStateTask(reg, sl.st, sl.st.Key())
+		if mode == ModeShare && !sl.positive && needsSignSplit(sl.st) {
+			lnAbs, sgnProd := cache.SignSplitStates(sl.st.Base)
+			for _, comp := range []canonical.State{lnAbs, sgnProd} {
+				cs := &slot{st: comp, positive: false}
+				cs.taskIdx = addStateTask(reg, comp, comp.Key())
+				companions = append(companions, cs)
+			}
+		}
+	}
+
+	// Execute, or synthesize the group structure from the cache.
+	var gr *exec.GroupResult
+	fullHit := false
+	if reg.Len() == 0 && mode == ModeShare && entryOK {
+		gr = &exec.GroupResult{
+			NumGroups:  entry.NumGroups(),
+			Keys:       entry.Keys,
+			KeyNames:   entry.KeyNames,
+			KeyColumns: entry.KeyCols,
+			Rows:       0,
+		}
+		fullHit = true
+	} else {
+		var err error
+		gr, err = s.eng.RunSpecs(dpRun, reg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble the value matrix: task outputs first, then cached arrays
+	// aligned to the result's group order.
+	for _, key := range slotOrder {
+		sl := slots[key]
+		if sl.cached == nil {
+			sl.finalIdx = sl.taskIdx
+			continue
+		}
+		aligned := sl.cached
+		if !fullHit {
+			var ok bool
+			aligned, ok = alignEntryToResult(entry, gr, sl.cached)
+			if !ok {
+				return nil, fmt.Errorf("cache entry misaligned with result groups for state %s", key)
+			}
+		}
+		sl.finalIdx = len(gr.Values)
+		gr.Values = append(gr.Values, aligned)
+	}
+
+	// Cache the freshly computed states (and companions).
+	if mode == ModeShare && !fullHit {
+		gt := cache.NewGroupTable(dp.Fingerprint, gr.KeyNames, gr.Keys, gr.KeyColumns)
+		for _, key := range slotOrder {
+			sl := slots[key]
+			if sl.taskIdx >= 0 {
+				_ = gt.AddState(&cache.CachedState{
+					State:         sl.st,
+					Vals:          gr.Values[sl.taskIdx],
+					PositiveInput: sl.positive,
+				})
+			}
+		}
+		for _, cs := range companions {
+			_ = gt.AddState(&cache.CachedState{State: cs.st, Vals: gr.Values[cs.taskIdx]})
+		}
+		if gt.NumStates() > 0 {
+			s.cache.Put(gt)
+		}
+	}
+
+	out, err := exec.BuildOutput(stmt, dpRun, gr, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Table:        out.Table,
+		RowsScanned:  gr.Rows,
+		Groups:       out.Groups,
+		UsedView:     usedView,
+		FullCacheHit: fullHit,
+	}, nil
+}
+
+// addStateTask registers a compiled state task under its key.
+func addStateTask(reg *exec.TaskRegistry, st canonical.State, key string) int {
+	return reg.Add(key, func(bind func(string) (exec.Accessor, error)) (exec.Task, error) {
+		return exec.NewStateTask(st, bind)
+	})
+}
+
+// needsSignSplit reports whether a state's future sharing requires the
+// |x|/sign companions: products and logarithmic chains.
+func needsSignSplit(st canonical.State) bool {
+	if st.Op == canonical.OpProd {
+		return true
+	}
+	for _, p := range st.F.Prims {
+		if p.Kind == scalar.KLog {
+			return true
+		}
+	}
+	return false
+}
+
+// alignEntryToResult reorders entry-ordered values into the result's
+// group order.
+func alignEntryToResult(entry *cache.GroupTable, gr *exec.GroupResult, vals []float64) ([]float64, bool) {
+	if entry == nil || entry.NumGroups() != gr.NumGroups {
+		return nil, false
+	}
+	out := make([]float64, gr.NumGroups)
+	for g, key := range gr.Keys {
+		i, ok := entry.IndexOf(key)
+		if !ok {
+			return nil, false
+		}
+		out[g] = vals[i]
+	}
+	return out, true
+}
+
+// baselineFinisher compiles one aggregate call for the baseline system:
+// built-ins run native fast paths, UDAFs run hardcoded-interpreted.
+func (s *Session) baselineFinisher(call *expr.Call, reg *exec.TaskRegistry) (exec.Finisher, error) {
+	if kind, ok := exec.LookupBuiltin(call.Name); ok {
+		wantArgs := 1
+		if kind == exec.BCount {
+			wantArgs = 0
+		}
+		if kind == exec.BCovar {
+			wantArgs = 2
+		}
+		if len(call.Args) != wantArgs {
+			return nil, fmt.Errorf("%s takes %d argument(s), got %d", call.Name, wantArgs, len(call.Args))
+		}
+		idx := reg.Add("builtin:"+call.String(), func(bind func(string) (exec.Accessor, error)) (exec.Task, error) {
+			bt := &exec.BuiltinTask{Kind: kind, Lbl: call.Name}
+			if len(call.Args) > 0 {
+				in, err := exec.CompileExpr(call.Args[0], bind)
+				if err != nil {
+					return nil, err
+				}
+				bt.In = in
+			}
+			if len(call.Args) > 1 {
+				in2, err := exec.CompileExpr(call.Args[1], bind)
+				if err != nil {
+					return nil, err
+				}
+				bt.In2 = in2
+			}
+			return bt, nil
+		})
+		return func(vals [][]float64, g int) float64 { return vals[idx][g] }, nil
+	}
+	form, ok := s.UDAF(call.Name)
+	if !ok {
+		return nil, fmt.Errorf("unknown aggregate %q", call.Name)
+	}
+	if form.HardT != nil {
+		// Hardcoded-terminating-function aggregates (the approx quantile
+		// family) are *native* in the baseline systems too (Spark's
+		// percentile_approx): compiled state loops, not interpreted.
+		return s.nativeFormFinisher(form, call, reg)
+	}
+	idx := reg.Add("naive:"+call.String(), func(bind func(string) (exec.Accessor, error)) (exec.Task, error) {
+		return exec.NewNaiveUDAFTask(form, call, bind)
+	})
+	return func(vals [][]float64, g int) float64 { return vals[idx][g] }, nil
+}
+
+// nativeFormFinisher compiles a form's states as fast tasks and its
+// terminating function as a closure (used by the baseline for natively
+// implemented aggregates).
+func (s *Session) nativeFormFinisher(form *canonical.Form, call *expr.Call, reg *exec.TaskRegistry) (exec.Finisher, error) {
+	if len(call.Args) != len(form.Params) {
+		return nil, fmt.Errorf("%s takes %d argument(s), got %d", form.Name, len(form.Params), len(call.Args))
+	}
+	bind := map[string]expr.Node{}
+	for i, p := range form.Params {
+		bind[p] = call.Args[i]
+	}
+	idxs := make([]int, len(form.States))
+	for j, st := range form.States {
+		bs := st
+		if st.Op != canonical.OpCount {
+			bs.Base = expr.Simplify(expr.Substitute(st.Base, bind))
+		}
+		idxs[j] = addStateTask(reg, bs, "native:"+bs.Key())
+	}
+	tfn, err := form.CompileT()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]float64, len(idxs))
+	return func(vals [][]float64, g int) float64 {
+		for j, ix := range idxs {
+			buf[j] = vals[ix][g]
+		}
+		return tfn(buf)
+	}, nil
+}
+
+// formFor returns the canonical form for any aggregate name: registered
+// UDAFs directly, SQL built-ins through their declarative definitions.
+func (s *Session) formFor(name string) (*canonical.Form, error) {
+	if f, ok := s.UDAF(name); ok {
+		return f, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.builtinForms == nil {
+		s.builtinForms = map[string]*canonical.Form{}
+	}
+	if f, ok := s.builtinForms[name]; ok {
+		return f, nil
+	}
+	body, params := builtinFormDef(name)
+	if body == "" {
+		return nil, fmt.Errorf("unknown aggregate %q", name)
+	}
+	f, err := canonical.Decompose(name, params, expr.MustParse(body))
+	if err != nil {
+		return nil, err
+	}
+	s.builtinForms[name] = f
+	return f, nil
+}
+
+// builtinFormDef gives the declarative definition of a SQL built-in.
+func builtinFormDef(name string) (body string, params []string) {
+	switch name {
+	case "sum":
+		return "sum(x)", []string{"x"}
+	case "count":
+		return "count()", nil
+	case "avg", "mean":
+		return "avg(x)", []string{"x"}
+	case "min":
+		return "min(x)", []string{"x"}
+	case "max":
+		return "max(x)", []string{"x"}
+	case "std", "stddev", "stddev_pop":
+		return "sqrt(sum(x^2)/n - (sum(x)/n)^2)", []string{"x"}
+	case "var", "variance", "var_pop":
+		return "sum(x^2)/n - (sum(x)/n)^2", []string{"x"}
+	case "covar_pop", "covar":
+		return "sum(x*y)/n - sum(x)*sum(y)/n^2", []string{"x", "y"}
+	}
+	return "", nil
+}
+
+// basePositive conservatively decides whether a bound base expression is
+// strictly positive on the given tables (column min stats, products and
+// even powers of positives).
+func (s *Session) basePositive(base expr.Node, tables []string) bool {
+	switch t := base.(type) {
+	case *expr.Num:
+		return t.Val > 0
+	case *expr.Var:
+		tbl, err := s.cat.ResolveColumn(t.Name, tables)
+		if err != nil {
+			return false
+		}
+		min, _ := tbl.Col(t.Name).Stats()
+		return min > 0
+	case *expr.Bin:
+		switch t.Op {
+		case '*', '/', '+':
+			return s.basePositive(t.L, tables) && s.basePositive(t.R, tables)
+		case '^':
+			return s.basePositive(t.L, tables)
+		}
+		return false
+	case *expr.Call:
+		if t.Name == "exp" {
+			return true
+		}
+		return false
+	}
+	return false
+}

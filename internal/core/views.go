@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"sudaf/internal/cache"
+	"sudaf/internal/canonical"
+	"sudaf/internal/exec"
+	"sudaf/internal/expr"
+	"sudaf/internal/rewrite"
+	"sudaf/internal/sqlparse"
+	"sudaf/internal/storage"
+)
+
+// Materialize creates a materialized state view from an aggregate query:
+// the stored table holds the group-by columns plus one column per
+// aggregation state appearing in the query's aggregates (the paper's V1,
+// the subquery of RQ1). The view's states are also inserted into the
+// state cache, and the view becomes a roll-up rewriting candidate.
+func (s *Session) Materialize(name, sql string) error {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return err
+	}
+	for _, ref := range stmt.From {
+		if ref.Sub != nil {
+			return fmt.Errorf("materialized views over subqueries are not supported")
+		}
+	}
+	dp, err := s.eng.PrepareData(stmt)
+	if err != nil {
+		return err
+	}
+	// Collect the states of every aggregate in the select list.
+	var calls []*expr.Call
+	for _, item := range stmt.Select {
+		exec.ExtractAggCalls(item.Expr, s.isAgg, &calls)
+	}
+	if len(calls) == 0 {
+		return fmt.Errorf("view %s: query has no aggregates", name)
+	}
+	var states []canonical.State
+	var positives []bool
+	seen := map[string]bool{}
+	for _, call := range calls {
+		form, err := s.formFor(call.Name)
+		if err != nil {
+			return err
+		}
+		if len(call.Args) != len(form.Params) {
+			return fmt.Errorf("%s takes %d argument(s), got %d", call.Name, len(form.Params), len(call.Args))
+		}
+		bind := map[string]expr.Node{}
+		for i, p := range form.Params {
+			bind[p] = call.Args[i]
+		}
+		for _, st := range form.States {
+			bs := st
+			if st.Op != canonical.OpCount {
+				bs.Base = expr.Simplify(expr.Substitute(st.Base, bind))
+			}
+			if seen[bs.Key()] {
+				continue
+			}
+			seen[bs.Key()] = true
+			states = append(states, bs)
+			positives = append(positives, s.basePositive(bs.Base, dp.Tables()))
+		}
+	}
+	reg := exec.NewTaskRegistry()
+	for _, st := range states {
+		addStateTask(reg, st, st.Key())
+	}
+	gr, err := s.eng.RunSpecs(dp, reg)
+	if err != nil {
+		return err
+	}
+
+	// Materialize: key columns + s1..sk state columns.
+	tbl := storage.NewTable(name)
+	for _, kc := range gr.KeyColumns {
+		tbl.AddColumn(kc)
+	}
+	stateCols := map[string]string{}
+	for i, st := range states {
+		colName := fmt.Sprintf("s%d", i+1)
+		col := storage.NewColumn(colName, storage.KindFloat)
+		col.F = append(col.F, gr.Values[i]...)
+		tbl.AddColumn(col)
+		stateCols[st.Key()] = colName
+	}
+	if err := s.cat.Register(tbl); err != nil {
+		return err
+	}
+
+	// Cache the states under the view query's fingerprint too.
+	gt := cache.NewGroupTable(dp.Fingerprint, gr.KeyNames, gr.Keys, gr.KeyColumns)
+	for i, st := range states {
+		_ = gt.AddState(&cache.CachedState{State: st, Vals: gr.Values[i], PositiveInput: positives[i]})
+	}
+	s.cache.Put(gt)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.views[name] = &rewrite.View{
+		Name:      name,
+		Table:     tbl,
+		Info:      dp.Info(),
+		States:    states,
+		StateCols: stateCols,
+	}
+	return nil
+}
+
+// DropView removes a materialized view.
+func (s *Session) DropView(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.views, name)
+	s.cat.Drop(name)
+}
+
+// Views lists materialized view names.
+func (s *Session) Views() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.views))
+	for n := range s.views {
+		out = append(out, n)
+	}
+	return out
+}
+
+// tryViews attempts a roll-up rewriting of the query's missing states
+// from any registered view, returning the prepared roll-up data plan.
+func (s *Session) tryViews(dp *exec.DataPlan, missing []*slot) (*exec.DataPlan, *rewrite.Rollup, string) {
+	info := dp.Info()
+	states := make([]canonical.State, len(missing))
+	for i, sl := range missing {
+		states[i] = sl.st
+	}
+	colOwner := func(col string) string {
+		t, err := s.cat.ResolveColumn(col, info.Tables)
+		if err != nil {
+			return ""
+		}
+		return t.Name
+	}
+	s.mu.Lock()
+	views := make([]*rewrite.View, 0, len(s.views))
+	for _, v := range s.views {
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+	for _, v := range views {
+		rollup, reason := rewrite.TryRollup(info, states, v, colOwner)
+		if rollup == nil {
+			_ = reason
+			continue
+		}
+		dpv, err := s.eng.PrepareData(rollup.Stmt)
+		if err != nil {
+			continue
+		}
+		return dpv, rollup, v.Name
+	}
+	return nil, nil, ""
+}

@@ -1,0 +1,169 @@
+// Package data generates the synthetic datasets used by the benchmark
+// harness, substituting for the paper's proprietary inputs:
+//
+//   - a TPC-DS-like star schema (store_sales plus the store, date_dim,
+//     item, customer_demographics and promotion dimensions) with the key
+//     distributions and selectivities the evaluation queries exercise;
+//   - a Milan-telecom-like single table (square_id, internet_traffic)
+//     with lognormal traffic, standing in for the Telecom Italia dataset
+//     of query models 1 and 2.
+//
+// Generation is deterministic given a seed. All measure columns are
+// strictly positive so that geometric/harmonic means and log-family
+// states are well defined, matching the paper's workloads.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sudaf/internal/storage"
+)
+
+// TPCDSScale describes the row counts of a generated TPC-DS-like
+// instance. Rows ≈ 120k × scale in store_sales.
+func TPCDSScale(scale int) int { return 120_000 * scale }
+
+// TPCDS generates the star schema at the given scale factor.
+func TPCDS(scale int, seed int64) []*storage.Table {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// store: 6 per scale unit, states weighted toward TN (the paper's
+	// predicate keeps roughly half the stores).
+	nStores := 6 * scale
+	statePool := []string{"TN", "CA", "TN", "NY", "TN", "WA"}
+	store := storage.NewTable("store",
+		storage.NewColumn("s_store_sk", storage.KindInt),
+		storage.NewColumn("s_state", storage.KindString))
+	for i := 0; i < nStores; i++ {
+		store.Col("s_store_sk").AppendInt(int64(i))
+		store.Col("s_state").AppendString(statePool[i%len(statePool)])
+	}
+
+	// date_dim: 6 years of days, 1998–2003.
+	const nYears = 6
+	date := storage.NewTable("date_dim",
+		storage.NewColumn("d_date_sk", storage.KindInt),
+		storage.NewColumn("d_year", storage.KindInt),
+		storage.NewColumn("d_moy", storage.KindInt))
+	nDates := nYears * 365
+	for i := 0; i < nDates; i++ {
+		date.Col("d_date_sk").AppendInt(int64(i))
+		date.Col("d_year").AppendInt(int64(1998 + i/365))
+		date.Col("d_moy").AppendInt(int64((i%365)/31 + 1))
+	}
+
+	// item: 1800 per scale unit, 10 categories.
+	nItems := 1800 * scale
+	cats := []string{"Sports", "Books", "Home", "Electronics", "Music",
+		"Jewelry", "Shoes", "Women", "Men", "Children"}
+	item := storage.NewTable("item",
+		storage.NewColumn("i_item_sk", storage.KindInt),
+		storage.NewColumn("i_item_id", storage.KindString),
+		storage.NewColumn("i_category", storage.KindString))
+	for i := 0; i < nItems; i++ {
+		item.Col("i_item_sk").AppendInt(int64(i))
+		item.Col("i_item_id").AppendString(fmt.Sprintf("AAAAAAAA%08d", i))
+		item.Col("i_category").AppendString(cats[i%len(cats)])
+	}
+
+	// customer_demographics: the full cross product like real TPC-DS
+	// (gender × marital × education × ...), 1920 rows.
+	genders := []string{"M", "F"}
+	maritals := []string{"S", "M", "D", "W", "U"}
+	educations := []string{"College", "2 yr Degree", "4 yr Degree",
+		"Advanced Degree", "Primary", "Secondary", "Unknown"}
+	cd := storage.NewTable("customer_demographics",
+		storage.NewColumn("cd_demo_sk", storage.KindInt),
+		storage.NewColumn("cd_gender", storage.KindString),
+		storage.NewColumn("cd_marital_status", storage.KindString),
+		storage.NewColumn("cd_education_status", storage.KindString))
+	sk := 0
+	for rep := 0; rep < 28; rep++ {
+		for _, g := range genders {
+			for _, m := range maritals {
+				for _, e := range educations {
+					cd.Col("cd_demo_sk").AppendInt(int64(sk))
+					cd.Col("cd_gender").AppendString(g)
+					cd.Col("cd_marital_status").AppendString(m)
+					cd.Col("cd_education_status").AppendString(e)
+					sk++
+				}
+			}
+		}
+	}
+
+	// promotion: 30 per scale unit, channels Y/N.
+	nPromos := 30 * scale
+	promo := storage.NewTable("promotion",
+		storage.NewColumn("p_promo_sk", storage.KindInt),
+		storage.NewColumn("p_channel_email", storage.KindString),
+		storage.NewColumn("p_channel_event", storage.KindString))
+	yn := []string{"N", "Y"}
+	for i := 0; i < nPromos; i++ {
+		promo.Col("p_promo_sk").AppendInt(int64(i))
+		promo.Col("p_channel_email").AppendString(yn[rng.Intn(2)])
+		promo.Col("p_channel_event").AppendString(yn[rng.Intn(2)])
+	}
+
+	// store_sales fact table.
+	n := TPCDSScale(scale)
+	ss := storage.NewTable("store_sales",
+		storage.NewColumn("ss_item_sk", storage.KindInt),
+		storage.NewColumn("ss_store_sk", storage.KindInt),
+		storage.NewColumn("ss_sold_date_sk", storage.KindInt),
+		storage.NewColumn("ss_cdemo_sk", storage.KindInt),
+		storage.NewColumn("ss_promo_sk", storage.KindInt),
+		storage.NewColumn("ss_quantity", storage.KindFloat),
+		storage.NewColumn("ss_list_price", storage.KindFloat),
+		storage.NewColumn("ss_sales_price", storage.KindFloat),
+		storage.NewColumn("ss_coupon_amt", storage.KindFloat))
+	itemC := ss.Col("ss_item_sk")
+	storeC := ss.Col("ss_store_sk")
+	dateC := ss.Col("ss_sold_date_sk")
+	cdemoC := ss.Col("ss_cdemo_sk")
+	promoC := ss.Col("ss_promo_sk")
+	qtyC := ss.Col("ss_quantity")
+	lpC := ss.Col("ss_list_price")
+	spC := ss.Col("ss_sales_price")
+	cpC := ss.Col("ss_coupon_amt")
+	for i := 0; i < n; i++ {
+		// Zipf-ish item popularity: square a uniform to skew low ids.
+		u := rng.Float64()
+		itemC.AppendInt(int64(u * u * float64(nItems)))
+		storeC.AppendInt(int64(rng.Intn(nStores)))
+		dateC.AppendInt(int64(rng.Intn(nDates)))
+		cdemoC.AppendInt(int64(rng.Intn(sk)))
+		promoC.AppendInt(int64(rng.Intn(nPromos)))
+		qtyC.AppendFloat(float64(1 + rng.Intn(99)))
+		lp := 1 + rng.Float64()*199
+		lpC.AppendFloat(lp)
+		spC.AppendFloat(lp * (0.4 + 0.6*rng.Float64()))
+		cpC.AppendFloat(0.01 + rng.Float64()*49)
+	}
+	return []*storage.Table{store, date, item, cd, promo, ss}
+}
+
+// Milan generates the telecom-like table: squares × measurements with
+// lognormal internet traffic (strictly positive, heavy tailed).
+func Milan(rows, squares int, seed int64) *storage.Table {
+	if squares < 1 {
+		squares = 10_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := storage.NewTable("milan_data",
+		storage.NewColumn("square_id", storage.KindInt),
+		storage.NewColumn("internet_traffic", storage.KindFloat))
+	sq := t.Col("square_id")
+	tr := t.Col("internet_traffic")
+	for i := 0; i < rows; i++ {
+		sq.AppendInt(int64(rng.Intn(squares)))
+		// Lognormal(3, 1.1), roughly 0.5–2000 with a long tail.
+		tr.AppendFloat(math.Exp(3 + 1.1*rng.NormFloat64()))
+	}
+	return t
+}

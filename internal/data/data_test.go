@@ -1,0 +1,101 @@
+package data
+
+import (
+	"testing"
+
+	"sudaf/internal/storage"
+)
+
+func TestTPCDSSchema(t *testing.T) {
+	tables := TPCDS(1, 42)
+	byName := map[string]*storage.Table{}
+	for _, tbl := range tables {
+		if err := tbl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		byName[tbl.Name] = tbl
+	}
+	for _, want := range []string{"store", "date_dim", "item",
+		"customer_demographics", "promotion", "store_sales"} {
+		if byName[want] == nil {
+			t.Fatalf("missing table %s", want)
+		}
+	}
+	ss := byName["store_sales"]
+	if ss.NumRows() != TPCDSScale(1) {
+		t.Errorf("store_sales rows = %d, want %d", ss.NumRows(), TPCDSScale(1))
+	}
+	// Foreign keys stay within dimension ranges.
+	nItems := byName["item"].NumRows()
+	for _, v := range ss.Col("ss_item_sk").I[:1000] {
+		if v < 0 || v >= int64(nItems) {
+			t.Fatalf("ss_item_sk %d out of range", v)
+		}
+	}
+	// Measures strictly positive (log/geometric-mean safety).
+	for _, col := range []string{"ss_quantity", "ss_list_price", "ss_sales_price", "ss_coupon_amt"} {
+		min, _ := ss.Col(col).Stats()
+		if min <= 0 {
+			t.Errorf("%s has non-positive values (min %v)", col, min)
+		}
+	}
+	// The evaluation predicates must select something.
+	if byName["store"].Col("s_state").Code("TN") < 0 {
+		t.Error("no TN stores")
+	}
+	if byName["item"].Col("i_category").Code("Sports") < 0 {
+		t.Error("no Sports items")
+	}
+	if byName["customer_demographics"].Col("cd_education_status").Code("College") < 0 {
+		t.Error("no College demographics")
+	}
+}
+
+func TestTPCDSDeterministic(t *testing.T) {
+	a := TPCDS(1, 7)
+	b := TPCDS(1, 7)
+	sa, sb := a[len(a)-1], b[len(b)-1]
+	for i := 0; i < 100; i++ {
+		if sa.Col("ss_list_price").F[i] != sb.Col("ss_list_price").F[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c := TPCDS(1, 8)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if sa.Col("ss_list_price").F[i] != c[len(c)-1].Col("ss_list_price").F[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMilan(t *testing.T) {
+	m := Milan(50_000, 100, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 50_000 {
+		t.Fatalf("rows = %d", m.NumRows())
+	}
+	min, max := m.Col("internet_traffic").Stats()
+	if min <= 0 {
+		t.Errorf("traffic must be positive, min %v", min)
+	}
+	if max <= min {
+		t.Error("degenerate traffic distribution")
+	}
+	// All squares in range, most squares populated.
+	seen := map[int64]bool{}
+	for _, v := range m.Col("square_id").I {
+		if v < 0 || v >= 100 {
+			t.Fatalf("square %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 95 {
+		t.Errorf("only %d/100 squares populated", len(seen))
+	}
+}

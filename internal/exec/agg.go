@@ -1,0 +1,462 @@
+package exec
+
+import (
+	"math"
+	"sync"
+
+	"sudaf/internal/storage"
+)
+
+// GroupKey is a composite group-by key (unused trailing slots are zero).
+// Group-by columns are int64 or dictionary codes, never floats.
+type GroupKey = [2]int64
+
+// Partial is a task's partition-local accumulation state: one or more
+// per-group arrays.
+type Partial interface{}
+
+// Task is an aggregate computation folded over the joined rows. The
+// engine drives it through the IUME contract: NewPartial/Accumulate per
+// partition, Merge across partitions, Finalize per group.
+type Task interface {
+	// Name identifies the task in results.
+	Name() string
+	// NewPartial allocates accumulation state for ngroups groups.
+	NewPartial(ngroups int) Partial
+	// Grow extends a partial to ngroups groups.
+	Grow(p Partial, ngroups int) Partial
+	// Accumulate folds rows [lo, hi) with group assignments gids
+	// (gids[i-lo] is the group of row i).
+	Accumulate(p Partial, lo, hi int, gids []int32)
+	// Merge folds src group g_src into dst group remap[g_src].
+	Merge(dst, src Partial, remap []int32)
+	// Finalize extracts the per-group result values.
+	Finalize(p Partial, ngroups int) []float64
+}
+
+// GroupResult is the output of aggregation: group keys plus one value
+// column per task. KeyColumns are materialized storage columns aligned
+// with Keys, so results can round-trip through the cache without
+// referencing engine internals.
+type GroupResult struct {
+	NumGroups  int
+	Keys       []GroupKey
+	KeyNames   []string
+	KeyColumns []*storage.Column
+	Values     [][]float64 // Values[taskIdx][groupID]
+	// Rows is the number of joined base rows aggregated (observability).
+	Rows int
+}
+
+// materializeKeys decodes the composite keys into storage columns.
+func (gr *GroupResult) materializeKeys(groupBy []planCol) {
+	gr.KeyNames = make([]string, len(groupBy))
+	gr.KeyColumns = make([]*storage.Column, len(groupBy))
+	for k, pc := range groupBy {
+		gr.KeyNames[k] = pc.col.Name
+		out := storage.NewColumn(pc.col.Name, pc.col.Kind)
+		for g := 0; g < gr.NumGroups; g++ {
+			v := gr.Keys[g][k]
+			switch pc.col.Kind {
+			case storage.KindInt:
+				out.AppendInt(v)
+			case storage.KindString:
+				out.AppendString(pc.col.DictString(int32(v)))
+			default:
+				out.AppendFloat(float64(v))
+			}
+		}
+		gr.KeyColumns[k] = out
+	}
+}
+
+// aggregate folds all tasks over the joined rows, in parallel when the
+// engine has multiple workers, merging per-partition partials (IUME).
+func (e *Engine) aggregate(dp *DataPlan, rs *RowSet, tasks []Task) (*GroupResult, error) {
+	keyFns := make([]func(int32) int64, len(dp.groupBy))
+	for i, g := range dp.groupBy {
+		keyFns[i] = rs.bindInt(g)
+	}
+
+	workers := e.Workers
+	if workers > rs.n/2048+1 {
+		workers = rs.n/2048 + 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// When both key columns fit in 32 bits the composite key packs into a
+	// single int64, enabling the runtime's fast64 map path.
+	packable := len(dp.groupBy) == 2
+	for _, g := range dp.groupBy {
+		min, max := g.col.Stats()
+		if min < 0 || max >= (1<<31) {
+			packable = false
+		}
+	}
+
+	type localAgg struct {
+		keys     []GroupKey
+		index    map[GroupKey]int32
+		partials []Partial
+	}
+	locals := make([]*localAgg, workers)
+	chunk := (rs.n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > rs.n {
+			hi = rs.n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		la := &localAgg{index: map[GroupKey]int32{}, partials: make([]Partial, len(tasks))}
+		locals[w] = la
+		wg.Add(1)
+		go func(lo, hi int, la *localAgg) {
+			defer wg.Done()
+			// Assign local group ids for this partition.
+			gids := make([]int32, hi-lo)
+			switch {
+			case len(keyFns) == 0:
+				if hi > lo {
+					la.keys = append(la.keys, GroupKey{})
+					la.index[GroupKey{}] = 0
+				}
+			case len(keyFns) == 1:
+				fn := keyFns[0]
+				idx := make(map[int64]int32, 256)
+				for i := lo; i < hi; i++ {
+					k := fn(int32(i))
+					gid, ok := idx[k]
+					if !ok {
+						gid = int32(len(la.keys))
+						idx[k] = gid
+						la.keys = append(la.keys, GroupKey{k, 0})
+						la.index[GroupKey{k, 0}] = gid
+					}
+					gids[i-lo] = gid
+				}
+			case packable:
+				f0, f1 := keyFns[0], keyFns[1]
+				idx := make(map[int64]int32, 256)
+				for i := lo; i < hi; i++ {
+					a, b := f0(int32(i)), f1(int32(i))
+					k := a<<32 | b
+					gid, ok := idx[k]
+					if !ok {
+						gid = int32(len(la.keys))
+						idx[k] = gid
+						la.keys = append(la.keys, GroupKey{a, b})
+						la.index[GroupKey{a, b}] = gid
+					}
+					gids[i-lo] = gid
+				}
+			default:
+				var key GroupKey
+				for i := lo; i < hi; i++ {
+					for k, fn := range keyFns {
+						key[k] = fn(int32(i))
+					}
+					gid, ok := la.index[key]
+					if !ok {
+						gid = int32(len(la.keys))
+						la.index[key] = gid
+						la.keys = append(la.keys, key)
+					}
+					gids[i-lo] = gid
+				}
+			}
+			ng := len(la.keys)
+			if ng == 0 && hi > lo {
+				ng = 1
+			}
+			if hi == lo {
+				return
+			}
+			for t, task := range tasks {
+				p := task.NewPartial(ng)
+				task.Accumulate(p, lo, hi, gids)
+				la.partials[t] = p
+			}
+		}(lo, hi, la)
+	}
+	wg.Wait()
+
+	// Merge partitions in worker order (deterministic group order).
+	gr := &GroupResult{Rows: rs.n}
+	globalIndex := map[GroupKey]int32{}
+	var globalKeys []GroupKey
+	merged := make([]Partial, len(tasks))
+	for _, la := range locals {
+		if la == nil || len(la.keys) == 0 {
+			continue
+		}
+		remap := make([]int32, len(la.keys))
+		for lg, key := range la.keys {
+			g, ok := globalIndex[key]
+			if !ok {
+				g = int32(len(globalKeys))
+				globalIndex[key] = g
+				globalKeys = append(globalKeys, key)
+			}
+			remap[lg] = g
+		}
+		for t, task := range tasks {
+			if merged[t] == nil {
+				merged[t] = task.NewPartial(len(globalKeys))
+			} else {
+				merged[t] = task.Grow(merged[t], len(globalKeys))
+			}
+			task.Merge(merged[t], la.partials[t], remap)
+		}
+	}
+	// A grand aggregate over zero rows still yields one group (SQL
+	// semantics for aggregates without GROUP BY).
+	if len(globalKeys) == 0 && len(dp.groupBy) == 0 {
+		globalKeys = append(globalKeys, GroupKey{})
+		for t, task := range tasks {
+			if merged[t] == nil {
+				merged[t] = task.NewPartial(1)
+			}
+		}
+	}
+	gr.NumGroups = len(globalKeys)
+	gr.Keys = globalKeys
+	gr.Values = make([][]float64, len(tasks))
+	for t, task := range tasks {
+		if merged[t] == nil {
+			merged[t] = task.NewPartial(gr.NumGroups)
+		}
+		gr.Values[t] = task.Finalize(merged[t], gr.NumGroups)
+	}
+	gr.materializeKeys(dp.groupBy)
+	return gr, nil
+}
+
+// ---- float-array partial helpers ----
+
+type floatsPartial struct {
+	arrs [][]float64
+}
+
+func newFloats(n int, fills ...float64) *floatsPartial {
+	fp := &floatsPartial{arrs: make([][]float64, len(fills))}
+	for i, fill := range fills {
+		a := make([]float64, n)
+		if fill != 0 {
+			for j := range a {
+				a[j] = fill
+			}
+		}
+		fp.arrs[i] = a
+	}
+	return fp
+}
+
+func (fp *floatsPartial) grow(n int, fills ...float64) {
+	for i := range fp.arrs {
+		for len(fp.arrs[i]) < n {
+			fp.arrs[i] = append(fp.arrs[i], fills[i])
+		}
+	}
+}
+
+// ---- built-in aggregate tasks (fast paths) ----
+
+// BuiltinKind enumerates the engine's native aggregates.
+type BuiltinKind int
+
+const (
+	BSum BuiltinKind = iota
+	BCount
+	BAvg
+	BMin
+	BMax
+	BVar   // population variance
+	BStd   // population standard deviation
+	BCovar // population covariance (two inputs)
+	BProd  // product (for SUDAF Π states)
+)
+
+// BuiltinTask computes one built-in aggregate over a compiled input.
+type BuiltinTask struct {
+	Kind BuiltinKind
+	Lbl  string
+	In   Accessor // nil for count
+	In2  Accessor // second input for covariance
+}
+
+func (b *BuiltinTask) Name() string { return b.Lbl }
+
+func (b *BuiltinTask) fills() []float64 {
+	switch b.Kind {
+	case BMin:
+		return []float64{math.Inf(1)}
+	case BMax:
+		return []float64{math.Inf(-1)}
+	case BProd:
+		return []float64{1}
+	case BAvg, BVar, BStd:
+		return []float64{0, 0, 0} // n, Σx, Σx²
+	case BCovar:
+		return []float64{0, 0, 0, 0} // n, Σx, Σy, Σxy
+	default:
+		return []float64{0}
+	}
+}
+
+func (b *BuiltinTask) NewPartial(n int) Partial {
+	return newFloats(n, b.fills()...)
+}
+
+func (b *BuiltinTask) Grow(p Partial, n int) Partial {
+	p.(*floatsPartial).grow(n, b.fills()...)
+	return p
+}
+
+func (b *BuiltinTask) Accumulate(p Partial, lo, hi int, gids []int32) {
+	fp := p.(*floatsPartial)
+	switch b.Kind {
+	case BCount:
+		a := fp.arrs[0]
+		for i := lo; i < hi; i++ {
+			a[gids[i-lo]]++
+		}
+	case BSum:
+		a := fp.arrs[0]
+		in := b.In
+		for i := lo; i < hi; i++ {
+			a[gids[i-lo]] += in(int32(i))
+		}
+	case BProd:
+		a := fp.arrs[0]
+		in := b.In
+		for i := lo; i < hi; i++ {
+			a[gids[i-lo]] *= in(int32(i))
+		}
+	case BMin:
+		a := fp.arrs[0]
+		in := b.In
+		for i := lo; i < hi; i++ {
+			g := gids[i-lo]
+			if v := in(int32(i)); v < a[g] {
+				a[g] = v
+			}
+		}
+	case BMax:
+		a := fp.arrs[0]
+		in := b.In
+		for i := lo; i < hi; i++ {
+			g := gids[i-lo]
+			if v := in(int32(i)); v > a[g] {
+				a[g] = v
+			}
+		}
+	case BAvg, BVar, BStd:
+		n, sx, sx2 := fp.arrs[0], fp.arrs[1], fp.arrs[2]
+		in := b.In
+		for i := lo; i < hi; i++ {
+			g := gids[i-lo]
+			v := in(int32(i))
+			n[g]++
+			sx[g] += v
+			sx2[g] += v * v
+		}
+	case BCovar:
+		n, sx, sy, sxy := fp.arrs[0], fp.arrs[1], fp.arrs[2], fp.arrs[3]
+		in, in2 := b.In, b.In2
+		for i := lo; i < hi; i++ {
+			g := gids[i-lo]
+			x, y := in(int32(i)), in2(int32(i))
+			n[g]++
+			sx[g] += x
+			sy[g] += y
+			sxy[g] += x * y
+		}
+	}
+}
+
+func (b *BuiltinTask) Merge(dst, src Partial, remap []int32) {
+	d, s := dst.(*floatsPartial), src.(*floatsPartial)
+	switch b.Kind {
+	case BMin:
+		for g, v := range s.arrs[0] {
+			if v < d.arrs[0][remap[g]] {
+				d.arrs[0][remap[g]] = v
+			}
+		}
+	case BMax:
+		for g, v := range s.arrs[0] {
+			if v > d.arrs[0][remap[g]] {
+				d.arrs[0][remap[g]] = v
+			}
+		}
+	case BProd:
+		for g, v := range s.arrs[0] {
+			d.arrs[0][remap[g]] *= v
+		}
+	default:
+		for k := range s.arrs {
+			da, sa := d.arrs[k], s.arrs[k]
+			for g, v := range sa {
+				da[remap[g]] += v
+			}
+		}
+	}
+}
+
+func (b *BuiltinTask) Finalize(p Partial, ngroups int) []float64 {
+	fp := p.(*floatsPartial)
+	out := make([]float64, ngroups)
+	switch b.Kind {
+	case BAvg:
+		for g := 0; g < ngroups; g++ {
+			out[g] = fp.arrs[1][g] / fp.arrs[0][g]
+		}
+	case BVar, BStd:
+		for g := 0; g < ngroups; g++ {
+			n, sx, sx2 := fp.arrs[0][g], fp.arrs[1][g], fp.arrs[2][g]
+			v := sx2/n - (sx/n)*(sx/n)
+			if b.Kind == BStd {
+				v = math.Sqrt(math.Max(v, 0))
+			}
+			out[g] = v
+		}
+	case BCovar:
+		for g := 0; g < ngroups; g++ {
+			n, sx, sy, sxy := fp.arrs[0][g], fp.arrs[1][g], fp.arrs[2][g], fp.arrs[3][g]
+			out[g] = sxy/n - (sx/n)*(sy/n)
+		}
+	default:
+		copy(out, fp.arrs[0][:ngroups])
+	}
+	return out
+}
+
+// LookupBuiltin maps SQL aggregate names to built-in kinds. avg/stddev/
+// variance/covar_pop are native in both PostgreSQL and Spark SQL, which
+// is why the baseline system computes them fast.
+func LookupBuiltin(name string) (BuiltinKind, bool) {
+	switch name {
+	case "sum":
+		return BSum, true
+	case "count":
+		return BCount, true
+	case "avg", "mean":
+		return BAvg, true
+	case "min":
+		return BMin, true
+	case "max":
+		return BMax, true
+	case "var", "variance", "var_pop":
+		return BVar, true
+	case "std", "stddev", "stddev_pop":
+		return BStd, true
+	case "covar_pop", "covar":
+		return BCovar, true
+	}
+	return 0, false
+}

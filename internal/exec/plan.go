@@ -1,0 +1,382 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"sudaf/internal/catalog"
+	"sudaf/internal/sqlparse"
+	"sudaf/internal/storage"
+)
+
+// Engine executes queries against a catalog.
+type Engine struct {
+	Cat *catalog.Catalog
+	// Workers is the parallelism degree: 1 models the single-threaded
+	// PostgreSQL setting, runtime.NumCPU() the Spark cluster setting.
+	Workers int
+}
+
+// NewEngine creates an engine; workers < 1 defaults to all CPUs.
+func NewEngine(cat *catalog.Catalog, workers int) *Engine {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{Cat: cat, Workers: workers}
+}
+
+// joinCond is an equi-join between two table columns.
+type joinCond struct {
+	lt, rt *storage.Table
+	lc, rc *storage.Column
+}
+
+// DataPlan is the resolved data part of an aggregate query: base tables,
+// pushed-down filters, the equi-join graph, and the grouping columns.
+// It is the unit the cache fingerprints (the paper's data dimension).
+type DataPlan struct {
+	eng     *Engine
+	tables  []*storage.Table
+	filters map[string]sqlparse.Pred // conjunction per table
+	joins   []joinCond
+	groupBy []planCol
+
+	// Fingerprint is the canonical identity of the data part; equal
+	// fingerprints mean cached aggregation states are directly reusable.
+	Fingerprint string
+}
+
+// planCol is a resolved column.
+type planCol struct {
+	table *storage.Table
+	col   *storage.Column
+}
+
+// GroupByNames returns the group-by column names in order.
+func (dp *DataPlan) GroupByNames() []string {
+	out := make([]string, len(dp.groupBy))
+	for i, g := range dp.groupBy {
+		out[i] = g.col.Name
+	}
+	return out
+}
+
+// Tables returns the plan's base table names.
+func (dp *DataPlan) Tables() []string {
+	out := make([]string, len(dp.tables))
+	for i, t := range dp.tables {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// PrepareData resolves the FROM/WHERE/GROUP BY part of a statement.
+// Subqueries must have been materialized by the caller.
+func (e *Engine) PrepareData(stmt *sqlparse.Stmt) (*DataPlan, error) {
+	dp := &DataPlan{eng: e, filters: map[string]sqlparse.Pred{}}
+	for _, ref := range stmt.From {
+		if ref.Sub != nil {
+			return nil, fmt.Errorf("subquery %q must be materialized before PrepareData", ref.RefName())
+		}
+		t, err := e.Cat.Table(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		dp.tables = append(dp.tables, t)
+	}
+	names := dp.Tables()
+
+	// Classify WHERE conjuncts into join conditions and per-table filters.
+	for _, conj := range sqlparse.Conjuncts(stmt.Where) {
+		if cmp, ok := conj.(*sqlparse.Cmp); ok && cmp.Op == "=" && cmp.L.IsCol && cmp.R.IsCol {
+			lt, err := e.Cat.ResolveColumn(cmp.L.Col, names)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := e.Cat.ResolveColumn(cmp.R.Col, names)
+			if err != nil {
+				return nil, err
+			}
+			if lt != rt {
+				dp.joins = append(dp.joins, joinCond{
+					lt: lt, rt: rt, lc: lt.Col(cmp.L.Col), rc: rt.Col(cmp.R.Col),
+				})
+				continue
+			}
+		}
+		// Single-table filter (or same-table column comparison).
+		owner, err := predOwner(e.Cat, conj, names)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := dp.filters[owner.Name]; ok {
+			dp.filters[owner.Name] = &sqlparse.And{L: prev, R: conj}
+		} else {
+			dp.filters[owner.Name] = conj
+		}
+	}
+
+	for _, g := range stmt.GroupBy {
+		t, err := e.Cat.ResolveColumn(g, names)
+		if err != nil {
+			return nil, err
+		}
+		col := t.Col(g)
+		if col.Kind == storage.KindFloat {
+			return nil, fmt.Errorf("GROUP BY on float column %q is not supported", g)
+		}
+		dp.groupBy = append(dp.groupBy, planCol{table: t, col: col})
+	}
+	dp.Fingerprint = fingerprint(dp, stmt)
+	return dp, nil
+}
+
+// predOwner finds the single table all columns of a predicate belong to.
+func predOwner(cat *catalog.Catalog, p sqlparse.Pred, names []string) (*storage.Table, error) {
+	cols := map[string]bool{}
+	sqlparse.PredColumns(p, cols)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("constant predicate %q not supported", sqlparse.PredString(p))
+	}
+	var owner *storage.Table
+	for c := range cols {
+		t, err := cat.ResolveColumn(c, names)
+		if err != nil {
+			return nil, err
+		}
+		if owner == nil {
+			owner = t
+		} else if owner != t {
+			return nil, fmt.Errorf("cross-table predicate %q is not an equi-join", sqlparse.PredString(p))
+		}
+	}
+	return owner, nil
+}
+
+// DataInfo is the normalized description of a data part, used by the
+// aggregate-view rewriter to test subsumption.
+type DataInfo struct {
+	Tables  []string            // sorted base table names
+	Joins   []string            // normalized equi-join strings, sorted
+	Filters map[string][]string // table → normalized conjunct strings
+	Preds   map[string][]sqlparse.Pred
+	GroupBy []string
+}
+
+// Info exports the plan's normalized data part.
+func (dp *DataPlan) Info() *DataInfo {
+	info := &DataInfo{
+		Tables:  dp.Tables(),
+		Filters: map[string][]string{},
+		Preds:   map[string][]sqlparse.Pred{},
+		GroupBy: dp.GroupByNames(),
+	}
+	sort.Strings(info.Tables)
+	for _, j := range dp.joins {
+		a := j.lt.Name + "." + j.lc.Name
+		b := j.rt.Name + "." + j.rc.Name
+		if a > b {
+			a, b = b, a
+		}
+		info.Joins = append(info.Joins, a+"="+b)
+	}
+	sort.Strings(info.Joins)
+	for t, p := range dp.filters {
+		for _, c := range sqlparse.Conjuncts(p) {
+			info.Filters[t] = append(info.Filters[t], sqlparse.PredString(c))
+			info.Preds[t] = append(info.Preds[t], c)
+		}
+		sort.Strings(info.Filters[t])
+	}
+	return info
+}
+
+// fingerprint canonicalizes the data part: sorted table names, sorted
+// join conditions, sorted per-table filters, group-by columns in order.
+func fingerprint(dp *DataPlan, stmt *sqlparse.Stmt) string {
+	tables := dp.Tables()
+	sort.Strings(tables)
+	var joins []string
+	for _, j := range dp.joins {
+		a := j.lt.Name + "." + j.lc.Name
+		b := j.rt.Name + "." + j.rc.Name
+		if a > b {
+			a, b = b, a
+		}
+		joins = append(joins, a+"="+b)
+	}
+	sort.Strings(joins)
+	var filters []string
+	for t, p := range dp.filters {
+		for _, c := range sqlparse.Conjuncts(p) {
+			filters = append(filters, t+":"+sqlparse.PredString(c))
+		}
+	}
+	sort.Strings(filters)
+	return "T[" + strings.Join(tables, ",") + "]J[" + strings.Join(joins, ",") +
+		"]F[" + strings.Join(filters, ";") + "]G[" + strings.Join(dp.GroupByNames(), ",") + "]"
+}
+
+// ---- selection (filter evaluation) ----
+
+// selection evaluates a table's pushed-down filter to a row index vector.
+func selection(t *storage.Table, pred sqlparse.Pred) ([]int32, error) {
+	n := t.NumRows()
+	if pred == nil {
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all, nil
+	}
+	match, err := compilePred(t, pred)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, 0, n/4+16)
+	for i := 0; i < n; i++ {
+		if match(int32(i)) {
+			out = append(out, int32(i))
+		}
+	}
+	return out, nil
+}
+
+// compilePred compiles a predicate into a per-row matcher for one table.
+func compilePred(t *storage.Table, pred sqlparse.Pred) (func(int32) bool, error) {
+	switch p := pred.(type) {
+	case *sqlparse.And:
+		l, err := compilePred(t, p.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compilePred(t, p.R)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int32) bool { return l(i) && r(i) }, nil
+	case *sqlparse.Or:
+		l, err := compilePred(t, p.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compilePred(t, p.R)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int32) bool { return l(i) || r(i) }, nil
+	case *sqlparse.Cmp:
+		return compileCmp(t, p)
+	}
+	return nil, fmt.Errorf("unsupported predicate %T", pred)
+}
+
+func compileCmp(t *storage.Table, p *sqlparse.Cmp) (func(int32) bool, error) {
+	// Column vs column (same table).
+	if p.L.IsCol && p.R.IsCol {
+		lc, rc := t.Col(p.L.Col), t.Col(p.R.Col)
+		if lc == nil || rc == nil {
+			return nil, fmt.Errorf("unknown column in %q", sqlparse.PredString(p))
+		}
+		la := func(i int32) float64 { return lc.AsFloat(int(i)) }
+		ra := func(i int32) float64 { return rc.AsFloat(int(i)) }
+		return cmpFloat(p.Op, la, ra)
+	}
+	// Normalize to column OP literal.
+	cmp := *p
+	if !cmp.L.IsCol {
+		cmp.L, cmp.R = cmp.R, cmp.L
+		cmp.Op = flipOp(cmp.Op)
+	}
+	if !cmp.L.IsCol {
+		return nil, fmt.Errorf("predicate %q has no column", sqlparse.PredString(p))
+	}
+	col := t.Col(cmp.L.Col)
+	if col == nil {
+		return nil, fmt.Errorf("unknown column %q in table %s", cmp.L.Col, t.Name)
+	}
+	if cmp.R.IsNum {
+		v := cmp.R.Num
+		switch col.Kind {
+		case storage.KindFloat:
+			f := col.F
+			return cmpConst(cmp.Op, func(i int32) float64 { return f[i] }, v)
+		case storage.KindInt:
+			iv := col.I
+			return cmpConst(cmp.Op, func(i int32) float64 { return float64(iv[i]) }, v)
+		default:
+			return nil, fmt.Errorf("numeric comparison on string column %q", col.Name)
+		}
+	}
+	// String literal: compare by dictionary code (equality only).
+	if col.Kind != storage.KindString {
+		return nil, fmt.Errorf("string comparison on non-string column %q", col.Name)
+	}
+	code := col.Code(cmp.R.Str)
+	codes := col.Codes
+	switch cmp.Op {
+	case "=":
+		if code < 0 {
+			return func(int32) bool { return false }, nil
+		}
+		return func(i int32) bool { return codes[i] == code }, nil
+	case "!=":
+		if code < 0 {
+			return func(int32) bool { return true }, nil
+		}
+		return func(i int32) bool { return codes[i] != code }, nil
+	}
+	return nil, fmt.Errorf("string comparison %q only supports = and !=", cmp.Op)
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and != are symmetric
+}
+
+func cmpFloat(op string, l, r func(int32) float64) (func(int32) bool, error) {
+	switch op {
+	case "=":
+		return func(i int32) bool { return l(i) == r(i) }, nil
+	case "!=":
+		return func(i int32) bool { return l(i) != r(i) }, nil
+	case "<":
+		return func(i int32) bool { return l(i) < r(i) }, nil
+	case "<=":
+		return func(i int32) bool { return l(i) <= r(i) }, nil
+	case ">":
+		return func(i int32) bool { return l(i) > r(i) }, nil
+	case ">=":
+		return func(i int32) bool { return l(i) >= r(i) }, nil
+	}
+	return nil, fmt.Errorf("unknown comparison %q", op)
+}
+
+func cmpConst(op string, l func(int32) float64, v float64) (func(int32) bool, error) {
+	switch op {
+	case "=":
+		return func(i int32) bool { return l(i) == v }, nil
+	case "!=":
+		return func(i int32) bool { return l(i) != v }, nil
+	case "<":
+		return func(i int32) bool { return l(i) < v }, nil
+	case "<=":
+		return func(i int32) bool { return l(i) <= v }, nil
+	case ">":
+		return func(i int32) bool { return l(i) > v }, nil
+	case ">=":
+		return func(i int32) bool { return l(i) >= v }, nil
+	}
+	return nil, fmt.Errorf("unknown comparison %q", op)
+}

@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"sudaf/internal/storage"
+)
+
+// RowSet is the materialized result of the scan/filter/join phase: one
+// row-index vector per base table, all the same length. Row i of the
+// joined relation is (vecs[t0][i], vecs[t1][i], …).
+type RowSet struct {
+	n      int
+	tables []*storage.Table
+	vecs   map[string][]int32
+}
+
+// Len returns the joined row count.
+func (rs *RowSet) Len() int { return rs.n }
+
+// Bind returns an accessor factory resolving column names across the
+// joined tables (column names are globally unique in our star schemas).
+func (rs *RowSet) Bind(name string) (Accessor, error) {
+	for _, t := range rs.tables {
+		if c := t.Col(name); c != nil {
+			return colAccessor(c, rs.vecs[t.Name]), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown column %q", name)
+}
+
+// bindInt resolves a group-key accessor.
+func (rs *RowSet) bindInt(pc planCol) func(int32) int64 {
+	return intAccessor(pc.col, rs.vecs[pc.table.Name])
+}
+
+// buildRowSet runs scans, filters and the left-deep hash join.
+func (dp *DataPlan) buildRowSet() (*RowSet, error) {
+	sels := map[string][]int32{}
+	for _, t := range dp.tables {
+		sel, err := selection(t, dp.filters[t.Name])
+		if err != nil {
+			return nil, err
+		}
+		sels[t.Name] = sel
+	}
+	if len(dp.tables) == 1 {
+		t := dp.tables[0]
+		return &RowSet{n: len(sels[t.Name]), tables: dp.tables,
+			vecs: map[string][]int32{t.Name: sels[t.Name]}}, nil
+	}
+
+	// Start from the largest filtered table (the fact table) and fold the
+	// remaining tables in via hash joins along the equi-join graph.
+	start := dp.tables[0]
+	for _, t := range dp.tables[1:] {
+		if len(sels[t.Name]) > len(sels[start.Name]) {
+			start = t
+		}
+	}
+	rs := &RowSet{
+		n:      len(sels[start.Name]),
+		tables: []*storage.Table{start},
+		vecs:   map[string][]int32{start.Name: sels[start.Name]},
+	}
+	joined := map[string]bool{start.Name: true}
+	remaining := append([]joinCond{}, dp.joins...)
+	for len(joined) < len(dp.tables) {
+		idx := -1
+		var jc joinCond
+		for i, c := range remaining {
+			l, r := joined[c.lt.Name], joined[c.rt.Name]
+			if l != r { // connects the joined set to a new table
+				idx, jc = i, c
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("join graph disconnected: joined %v of %v", keys(joined), dp.Tables())
+		}
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		// Orient: probe side already joined, build side new.
+		probeT, probeC, buildT, buildC := jc.lt, jc.lc, jc.rt, jc.rc
+		if !joined[probeT.Name] {
+			probeT, probeC, buildT, buildC = jc.rt, jc.rc, jc.lt, jc.lc
+		}
+		if err := rs.hashJoin(dp.eng.Workers, probeT, probeC, buildT, buildC, sels[buildT.Name]); err != nil {
+			return nil, err
+		}
+		joined[buildT.Name] = true
+		// Apply any remaining conditions between already-joined tables as
+		// post-join filters.
+		for i := 0; i < len(remaining); {
+			c := remaining[i]
+			if joined[c.lt.Name] && joined[c.rt.Name] {
+				rs.filterEqual(c)
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				continue
+			}
+			i++
+		}
+	}
+	return rs, nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// hashJoin builds a hash table over the build side's selected rows and
+// probes with the current row set, expanding it in place. Probing is
+// chunked across workers; chunk outputs are concatenated in order so the
+// result is deterministic.
+func (rs *RowSet) hashJoin(workers int, probeT *storage.Table, probeC *storage.Column,
+	buildT *storage.Table, buildC *storage.Column, buildSel []int32) error {
+
+	// Build: key → row(s). Dimension keys are usually unique; fall back
+	// to a multimap only when duplicates exist.
+	single := make(map[int64]int32, len(buildSel))
+	var multi map[int64][]int32
+	keyOf := func(row int32) int64 { return buildC.AsInt(int(row)) }
+	for _, row := range buildSel {
+		k := keyOf(row)
+		if prev, dup := single[k]; dup {
+			if multi == nil {
+				multi = map[int64][]int32{}
+			}
+			multi[k] = append(multi[k], prev, row)
+			delete(single, k)
+		} else if multi != nil && len(multi[k]) > 0 {
+			multi[k] = append(multi[k], row)
+		} else {
+			single[k] = row
+		}
+	}
+
+	probeVec := rs.vecs[probeT.Name]
+	probeKey := func(i int32) int64 { return probeC.AsInt(int(probeVec[i])) }
+
+	type chunkOut struct {
+		keep  []int32 // indexes into the current rowset
+		build []int32 // matched build rows, aligned with keep
+	}
+	nchunks := workers
+	if nchunks > rs.n/4096+1 {
+		nchunks = rs.n/4096 + 1
+	}
+	outs := make([]chunkOut, nchunks)
+	var wg sync.WaitGroup
+	chunk := (rs.n + nchunks - 1) / nchunks
+	for c := 0; c < nchunks; c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > rs.n {
+			hi = rs.n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			keep := make([]int32, 0, hi-lo)
+			build := make([]int32, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				k := probeKey(int32(i))
+				if multi != nil {
+					if rows, ok := multi[k]; ok && len(rows) > 0 {
+						for _, r := range rows {
+							keep = append(keep, int32(i))
+							build = append(build, r)
+						}
+						continue
+					}
+				}
+				if r, ok := single[k]; ok {
+					keep = append(keep, int32(i))
+					build = append(build, r)
+				}
+			}
+			outs[c] = chunkOut{keep: keep, build: build}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, o := range outs {
+		total += len(o.keep)
+	}
+	// Rebuild all existing vectors through keep, and add the build vector.
+	newVecs := map[string][]int32{}
+	for name, vec := range rs.vecs {
+		nv := make([]int32, total)
+		pos := 0
+		for _, o := range outs {
+			for _, i := range o.keep {
+				nv[pos] = vec[i]
+				pos++
+			}
+		}
+		newVecs[name] = nv
+	}
+	bv := make([]int32, 0, total)
+	for _, o := range outs {
+		bv = append(bv, o.build...)
+	}
+	newVecs[buildT.Name] = bv
+	rs.vecs = newVecs
+	rs.n = total
+	rs.tables = append(rs.tables, buildT)
+	return nil
+}
+
+// filterEqual applies a residual equi-join condition between two already
+// joined tables.
+func (rs *RowSet) filterEqual(c joinCond) {
+	lv, rv := rs.vecs[c.lt.Name], rs.vecs[c.rt.Name]
+	keep := make([]int32, 0, rs.n)
+	for i := 0; i < rs.n; i++ {
+		if c.lc.AsInt(int(lv[i])) == c.rc.AsInt(int(rv[i])) {
+			keep = append(keep, int32(i))
+		}
+	}
+	for name, vec := range rs.vecs {
+		nv := make([]int32, len(keep))
+		for j, i := range keep {
+			nv[j] = vec[i]
+		}
+		rs.vecs[name] = nv
+	}
+	rs.n = len(keep)
+}

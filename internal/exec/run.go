@@ -1,0 +1,404 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sudaf/internal/expr"
+	"sudaf/internal/sqlparse"
+	"sudaf/internal/storage"
+)
+
+// TaskSpec builds a Task once the joined row set's column binder exists.
+type TaskSpec func(bind func(string) (Accessor, error)) (Task, error)
+
+// TaskRegistry deduplicates tasks by key: two aggregate calls needing the
+// same computation (e.g. the count() of avg and of stddev) run it once.
+type TaskRegistry struct {
+	keys  map[string]int
+	specs []TaskSpec
+	names []string
+}
+
+// NewTaskRegistry creates an empty registry.
+func NewTaskRegistry() *TaskRegistry {
+	return &TaskRegistry{keys: map[string]int{}}
+}
+
+// Add registers a task spec under a deduplication key and returns its
+// task index.
+func (r *TaskRegistry) Add(key string, spec TaskSpec) int {
+	if i, ok := r.keys[key]; ok {
+		return i
+	}
+	i := len(r.specs)
+	r.keys[key] = i
+	r.specs = append(r.specs, spec)
+	r.names = append(r.names, key)
+	return i
+}
+
+// Len returns the number of distinct tasks.
+func (r *TaskRegistry) Len() int { return len(r.specs) }
+
+// Keys returns the registered task keys in index order.
+func (r *TaskRegistry) Keys() []string { return r.names }
+
+// RunSpecs executes the data plan, builds the registered tasks against
+// the joined row set, and aggregates.
+func (e *Engine) RunSpecs(dp *DataPlan, reg *TaskRegistry) (*GroupResult, error) {
+	rs, err := dp.buildRowSet()
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]Task, len(reg.specs))
+	for i, spec := range reg.specs {
+		t, err := spec(rs.Bind)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	return e.aggregate(dp, rs, tasks)
+}
+
+// Finisher computes one aggregate call's value for group g from the task
+// output matrix.
+type Finisher func(vals [][]float64, g int) float64
+
+// Result is a finished query result.
+type Result struct {
+	Table *storage.Table
+	// Rows is the number of joined base rows read (0 when fully answered
+	// from cache).
+	Rows int
+	// Groups is the number of groups before LIMIT.
+	Groups int
+}
+
+// placeholderPrefix names the synthetic variables replacing aggregate
+// calls in select expressions.
+const placeholderPrefix = "__agg"
+
+// ExtractAggCalls rewrites a select expression, replacing each aggregate
+// call (as identified by isAgg) with a placeholder variable, and returns
+// the calls in placeholder order.
+func ExtractAggCalls(n expr.Node, isAgg func(name string) bool, calls *[]*expr.Call) expr.Node {
+	switch t := n.(type) {
+	case *expr.Num, *expr.Var:
+		return n
+	case *expr.Neg:
+		return &expr.Neg{X: ExtractAggCalls(t.X, isAgg, calls)}
+	case *expr.Bin:
+		return &expr.Bin{Op: t.Op,
+			L: ExtractAggCalls(t.L, isAgg, calls),
+			R: ExtractAggCalls(t.R, isAgg, calls)}
+	case *expr.Call:
+		if isAgg(t.Name) {
+			*calls = append(*calls, t)
+			return &expr.Var{Name: fmt.Sprintf("%s%d", placeholderPrefix, len(*calls)-1)}
+		}
+		args := make([]expr.Node, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = ExtractAggCalls(a, isAgg, calls)
+		}
+		return &expr.Call{Name: t.Name, Args: args}
+	}
+	return n
+}
+
+// OutputSpec is a compiled select list for an aggregate query: rewritten
+// expressions plus the finishers backing each placeholder.
+type OutputSpec struct {
+	Items     []sqlparse.SelectItem // exprs with placeholders substituted
+	Finishers []Finisher            // one per placeholder, in order
+}
+
+// BuildOutput materializes the final result table: group-by key columns,
+// select expressions evaluated per group over placeholder values, then
+// ORDER BY and LIMIT.
+func BuildOutput(stmt *sqlparse.Stmt, dp *DataPlan, gr *GroupResult, out OutputSpec) (*Result, error) {
+	totalGroups := gr.NumGroups
+	// When ORDER BY touches only group-key columns and a LIMIT is set,
+	// select the surviving groups *before* evaluating finishers — this is
+	// what lets expensive terminating functions (e.g. the moment-sketch
+	// quantile solver) run only for the 20 output groups of query model 2.
+	if reduced, ok := limitByKeys(stmt, gr); ok {
+		gr = reduced
+	}
+	// Pre-compute placeholder value columns and their names once.
+	phVals := make([][]float64, len(out.Finishers))
+	phNames := make([]string, len(out.Finishers))
+	for p, fin := range out.Finishers {
+		col := make([]float64, gr.NumGroups)
+		for g := 0; g < gr.NumGroups; g++ {
+			col[g] = fin(gr.Values, g)
+		}
+		phVals[p] = col
+		phNames[p] = fmt.Sprintf("%s%d", placeholderPrefix, p)
+	}
+	// Group-key columns by name for direct reference.
+	keyCols := map[string]*storage.Column{}
+	keyIdx := map[string]int{}
+	for k, name := range gr.KeyNames {
+		keyCols[name] = gr.KeyColumns[k]
+		keyIdx[name] = k
+	}
+
+	res := storage.NewTable("result")
+	for pos, item := range out.Items {
+		name := item.OutputName(pos)
+		// Direct group-column reference (required for string columns).
+		if v, ok := item.Expr.(*expr.Var); ok {
+			if kc, ok := keyCols[v.Name]; ok {
+				res.AddColumn(kc.Renamed(name))
+				continue
+			}
+		}
+		// Fast path: the item is a bare placeholder (one aggregate call).
+		if v, ok := item.Expr.(*expr.Var); ok {
+			matched := false
+			for p, pn := range phNames {
+				if v.Name == pn {
+					col := storage.NewColumn(name, storage.KindFloat)
+					col.F = append(col.F, phVals[p]...)
+					res.AddColumn(col)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		// Numeric expression over placeholders and numeric group keys:
+		// reuse one environment map across groups.
+		col := storage.NewColumn(name, storage.KindFloat)
+		env := expr.MapEnv{}
+		for g := 0; g < gr.NumGroups; g++ {
+			for p, pn := range phNames {
+				env[pn] = phVals[p][g]
+			}
+			for kname, k := range keyIdx {
+				env[kname] = float64(gr.Keys[g][k])
+			}
+			v, err := expr.Eval(item.Expr, env)
+			if err != nil {
+				return nil, fmt.Errorf("select item %q: %w", name, err)
+			}
+			col.AppendFloat(v)
+		}
+		res.AddColumn(col)
+	}
+	if err := sortLimit(res, stmt); err != nil {
+		return nil, err
+	}
+	return &Result{Table: res, Rows: gr.Rows, Groups: totalGroups}, nil
+}
+
+// limitByKeys pre-selects groups when ORDER BY uses only group-key
+// columns and LIMIT is present.
+func limitByKeys(stmt *sqlparse.Stmt, gr *GroupResult) (*GroupResult, bool) {
+	if len(stmt.OrderBy) == 0 || stmt.Limit < 0 || stmt.Limit >= gr.NumGroups {
+		return nil, false
+	}
+	colIdx := map[string]int{}
+	for k, n := range gr.KeyNames {
+		colIdx[n] = k
+	}
+	type sortSpec struct {
+		col  *storage.Column
+		desc bool
+	}
+	var specs []sortSpec
+	for _, o := range stmt.OrderBy {
+		k, ok := colIdx[o.Col]
+		if !ok {
+			return nil, false
+		}
+		specs = append(specs, sortSpec{gr.KeyColumns[k], o.Desc})
+	}
+	perm := make([]int, gr.NumGroups)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		for _, sc := range specs {
+			var cmp int
+			if sc.col.Kind == storage.KindString {
+				cmp = strings.Compare(sc.col.StringAt(perm[a]), sc.col.StringAt(perm[b]))
+			} else {
+				va, vb := sc.col.AsFloat(perm[a]), sc.col.AsFloat(perm[b])
+				if va < vb {
+					cmp = -1
+				} else if va > vb {
+					cmp = 1
+				}
+			}
+			if sc.desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	sel := perm[:stmt.Limit]
+	out := &GroupResult{
+		NumGroups: len(sel),
+		Keys:      make([]GroupKey, len(sel)),
+		KeyNames:  gr.KeyNames,
+		Rows:      gr.Rows,
+	}
+	for i, g := range sel {
+		out.Keys[i] = gr.Keys[g]
+	}
+	out.KeyColumns = make([]*storage.Column, len(gr.KeyColumns))
+	for k, kc := range gr.KeyColumns {
+		nc := storage.NewColumn(kc.Name, kc.Kind)
+		for _, g := range sel {
+			switch kc.Kind {
+			case storage.KindFloat:
+				nc.AppendFloat(kc.F[g])
+			case storage.KindInt:
+				nc.AppendInt(kc.I[g])
+			default:
+				nc.AppendString(kc.StringAt(g))
+			}
+		}
+		out.KeyColumns[k] = nc
+	}
+	out.Values = make([][]float64, len(gr.Values))
+	for t, vals := range gr.Values {
+		nv := make([]float64, len(sel))
+		for i, g := range sel {
+			nv[i] = vals[g]
+		}
+		out.Values[t] = nv
+	}
+	return out, true
+}
+
+// sortLimit applies ORDER BY and LIMIT to a result table in place.
+func sortLimit(t *storage.Table, stmt *sqlparse.Stmt) error {
+	n := t.NumRows()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if len(stmt.OrderBy) > 0 {
+		type sortCol struct {
+			col  *storage.Column
+			desc bool
+		}
+		var scs []sortCol
+		for _, o := range stmt.OrderBy {
+			c := t.Col(o.Col)
+			if c == nil {
+				return fmt.Errorf("ORDER BY column %q not in output", o.Col)
+			}
+			scs = append(scs, sortCol{c, o.Desc})
+		}
+		sort.SliceStable(perm, func(a, b int) bool {
+			for _, sc := range scs {
+				var cmp int
+				switch sc.col.Kind {
+				case storage.KindString:
+					cmp = strings.Compare(sc.col.StringAt(perm[a]), sc.col.StringAt(perm[b]))
+				default:
+					va, vb := sc.col.AsFloat(perm[a]), sc.col.AsFloat(perm[b])
+					if va < vb {
+						cmp = -1
+					} else if va > vb {
+						cmp = 1
+					}
+				}
+				if sc.desc {
+					cmp = -cmp
+				}
+				if cmp != 0 {
+					return cmp < 0
+				}
+			}
+			return false
+		})
+	}
+	limit := n
+	if stmt.Limit >= 0 && stmt.Limit < n {
+		limit = stmt.Limit
+	}
+	if limit == n && len(stmt.OrderBy) == 0 {
+		return nil
+	}
+	for ci, c := range t.Cols {
+		nc := storage.NewColumn(c.Name, c.Kind)
+		for i := 0; i < limit; i++ {
+			switch c.Kind {
+			case storage.KindFloat:
+				nc.AppendFloat(c.F[perm[i]])
+			case storage.KindInt:
+				nc.AppendInt(c.I[perm[i]])
+			default:
+				nc.AppendString(c.StringAt(perm[i]))
+			}
+		}
+		t.Cols[ci] = nc
+	}
+	return nil
+}
+
+// RunSimple executes a non-aggregate query: scan/filter/join then
+// row-wise projection (used for materializing plain derived tables).
+func (e *Engine) RunSimple(stmt *sqlparse.Stmt) (*Result, error) {
+	dp, err := e.PrepareData(stmt)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := dp.buildRowSet()
+	if err != nil {
+		return nil, err
+	}
+	res := storage.NewTable("result")
+	for pos, item := range stmt.Select {
+		name := item.OutputName(pos)
+		// Column passthrough keeps its type.
+		if v, ok := item.Expr.(*expr.Var); ok {
+			for _, bt := range dp.tables {
+				if src := bt.Col(v.Name); src != nil {
+					vec := rs.vecs[bt.Name]
+					nc := storage.NewColumn(name, src.Kind)
+					for i := 0; i < rs.n; i++ {
+						switch src.Kind {
+						case storage.KindFloat:
+							nc.AppendFloat(src.F[vec[i]])
+						case storage.KindInt:
+							nc.AppendInt(src.I[vec[i]])
+						default:
+							nc.AppendString(src.StringAt(int(vec[i])))
+						}
+					}
+					res.AddColumn(nc)
+					break
+				}
+			}
+			if res.Col(name) != nil {
+				continue
+			}
+		}
+		acc, err := CompileExpr(item.Expr, rs.Bind)
+		if err != nil {
+			return nil, err
+		}
+		nc := storage.NewColumn(name, storage.KindFloat)
+		for i := 0; i < rs.n; i++ {
+			nc.AppendFloat(acc(int32(i)))
+		}
+		res.AddColumn(nc)
+	}
+	if err := sortLimit(res, stmt); err != nil {
+		return nil, err
+	}
+	return &Result{Table: res, Rows: rs.n, Groups: rs.n}, nil
+}

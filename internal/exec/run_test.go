@@ -1,0 +1,156 @@
+package exec
+
+import (
+	"testing"
+
+	"sudaf/internal/sqlparse"
+	"sudaf/internal/storage"
+)
+
+func TestLimitByKeys(t *testing.T) {
+	kc := storage.NewColumn("g", storage.KindInt)
+	gr := &GroupResult{NumGroups: 5, KeyNames: []string{"g"}}
+	for i := 0; i < 5; i++ {
+		gr.Keys = append(gr.Keys, GroupKey{int64(4 - i), 0}) // reverse order
+		kc.AppendInt(int64(4 - i))
+	}
+	gr.KeyColumns = []*storage.Column{kc}
+	gr.Values = [][]float64{{40, 30, 20, 10, 0}}
+
+	stmt, _ := sqlparse.Parse("SELECT g, sum(x) FROM t GROUP BY g ORDER BY g LIMIT 2")
+	out, ok := limitByKeys(stmt, gr)
+	if !ok {
+		t.Fatal("limitByKeys should apply")
+	}
+	if out.NumGroups != 2 {
+		t.Fatalf("groups = %d", out.NumGroups)
+	}
+	// Smallest keys first: g=0 (value 0), g=1 (value 10).
+	if out.Keys[0][0] != 0 || out.Keys[1][0] != 1 {
+		t.Fatalf("keys: %v", out.Keys)
+	}
+	if out.Values[0][0] != 0 || out.Values[0][1] != 10 {
+		t.Fatalf("values: %v", out.Values[0])
+	}
+
+	// DESC order.
+	stmtD, _ := sqlparse.Parse("SELECT g FROM t GROUP BY g ORDER BY g DESC LIMIT 1")
+	outD, ok := limitByKeys(stmtD, gr)
+	if !ok || outD.Keys[0][0] != 4 {
+		t.Fatalf("desc: %v %v", outD, ok)
+	}
+
+	// ORDER BY a non-key column disables the fast path.
+	stmt2, _ := sqlparse.Parse("SELECT g, sum(x) s FROM t GROUP BY g ORDER BY s LIMIT 2")
+	if _, ok := limitByKeys(stmt2, gr); ok {
+		t.Fatal("non-key ORDER BY must not pre-limit")
+	}
+	// No LIMIT: no fast path.
+	stmt3, _ := sqlparse.Parse("SELECT g FROM t GROUP BY g ORDER BY g")
+	if _, ok := limitByKeys(stmt3, gr); ok {
+		t.Fatal("no LIMIT must not pre-limit")
+	}
+}
+
+func TestPrepareDataErrors(t *testing.T) {
+	cat := testCatalog(t, 10)
+	e := NewEngine(cat, 1)
+	bad := []string{
+		"SELECT sum(price) FROM sales, stores GROUP BY price",                           // float group key, and disconnected join
+		"SELECT sum(price) FROM missing",                                                // unknown table
+		"SELECT sum(price) FROM sales WHERE nope = 1",                                   // unknown column
+		"SELECT sum(price) FROM sales, stores WHERE price > st_id",                      // cross-table non-equi
+		"SELECT sum(price) FROM sales WHERE st_state = 'TN'",                            // column from unjoined table
+		"SELECT sum(price) FROM sales, stores WHERE s_store = st_id AND st_state > 'A'", // string range compare
+	}
+	for _, q := range bad {
+		stmt, err := sqlparse.Parse(q)
+		if err != nil {
+			continue
+		}
+		if dp, err := e.PrepareData(stmt); err == nil {
+			// Some failures surface at execution; force it.
+			if _, err2 := e.RunSpecs(dp, NewTaskRegistry()); err2 == nil {
+				t.Errorf("%q should fail", q)
+			}
+		}
+	}
+}
+
+func TestDisconnectedJoinFails(t *testing.T) {
+	cat := testCatalog(t, 10)
+	e := NewEngine(cat, 1)
+	stmt, _ := sqlparse.Parse("SELECT count(*) FROM sales, stores")
+	dp, err := e.PrepareData(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewTaskRegistry()
+	reg.Add("count", func(b func(string) (Accessor, error)) (Task, error) {
+		return &BuiltinTask{Kind: BCount, Lbl: "count"}, nil
+	})
+	if _, err := e.RunSpecs(dp, reg); err == nil {
+		t.Error("cartesian product (no join condition) should fail")
+	}
+}
+
+func TestEmptySelection(t *testing.T) {
+	cat := testCatalog(t, 100)
+	e := NewEngine(cat, 2)
+	res := runBuiltins(t, e, "SELECT count(*), sum(price) FROM sales WHERE price > 1e9")
+	// Grand aggregate over zero rows: one group, count 0.
+	if res.Table.NumRows() != 1 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+	if res.Table.Cols[0].F[0] != 0 {
+		t.Errorf("count = %v", res.Table.Cols[0].F[0])
+	}
+	// Grouped aggregate over zero rows: zero groups.
+	res2 := runBuiltins(t, e, "SELECT s_item, count(*) FROM sales WHERE price > 1e9 GROUP BY s_item")
+	if res2.Table.NumRows() != 0 {
+		t.Fatalf("grouped rows = %d", res2.Table.NumRows())
+	}
+}
+
+func TestStringGroupKey(t *testing.T) {
+	cat := testCatalog(t, 3000)
+	e := NewEngine(cat, 3)
+	res := runBuiltins(t, e,
+		`SELECT st_state, count(*) FROM sales, stores
+		 WHERE s_store = st_id GROUP BY st_state ORDER BY st_state`)
+	if res.Table.NumRows() != 3 { // TN, CA, NY
+		t.Fatalf("states = %d", res.Table.NumRows())
+	}
+	if res.Table.Cols[0].Kind != storage.KindString {
+		t.Fatal("string key column lost its type")
+	}
+	prev := ""
+	total := 0.0
+	for i := 0; i < res.Table.NumRows(); i++ {
+		cur := res.Table.Cols[0].StringAt(i)
+		if cur <= prev {
+			t.Errorf("ORDER BY on string key violated: %q after %q", cur, prev)
+		}
+		prev = cur
+		total += res.Table.Cols[1].F[i]
+	}
+	if total != 3000 {
+		t.Errorf("counts sum to %v", total)
+	}
+}
+
+func TestTaskRegistryDedup(t *testing.T) {
+	reg := NewTaskRegistry()
+	mk := func(bind func(string) (Accessor, error)) (Task, error) {
+		return &BuiltinTask{Kind: BCount, Lbl: "c"}, nil
+	}
+	i1 := reg.Add("k1", mk)
+	i2 := reg.Add("k2", mk)
+	i3 := reg.Add("k1", mk)
+	if i1 != i3 || i1 == i2 || reg.Len() != 2 {
+		t.Fatalf("dedup broken: %d %d %d, len %d", i1, i2, i3, reg.Len())
+	}
+	if reg.Keys()[0] != "k1" || reg.Keys()[1] != "k2" {
+		t.Fatalf("keys: %v", reg.Keys())
+	}
+}

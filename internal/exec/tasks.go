@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"sudaf/internal/canonical"
+	"sudaf/internal/expr"
+)
+
+// StateTask computes one SUDAF aggregation state with compiled loops:
+// base expression and scalar chain are closures, the merge operation is
+// monomorphic per AggOp. This is the "rewritten using built-in functions"
+// execution path of the paper (queries RQ1/RQ2).
+type StateTask struct {
+	State canonical.State // bound state (base over real columns)
+	Lbl   string
+	in    Accessor              // compiled base expression (nil for count)
+	fn    func(float64) float64 // compiled chain (nil for identity)
+}
+
+// NewStateTask compiles a bound state against a row binder.
+func NewStateTask(st canonical.State, bind func(string) (Accessor, error)) (*StateTask, error) {
+	t := &StateTask{State: st, Lbl: st.Key()}
+	if st.Op == canonical.OpCount {
+		return t, nil
+	}
+	in, err := CompileExpr(st.Base, bind)
+	if err != nil {
+		return nil, fmt.Errorf("state %s: %w", st.Key(), err)
+	}
+	t.in = in
+	chain := st.F.NormalizeReal()
+	if !chain.IsIdentity() {
+		fn, err := chain.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("state %s: %w", st.Key(), err)
+		}
+		t.fn = fn
+	}
+	return t, nil
+}
+
+func (t *StateTask) Name() string { return t.Lbl }
+
+func (t *StateTask) fill() float64 { return t.State.MergeIdentity() }
+
+func (t *StateTask) NewPartial(n int) Partial { return newFloats(n, t.fill()) }
+
+func (t *StateTask) Grow(p Partial, n int) Partial {
+	p.(*floatsPartial).grow(n, t.fill())
+	return p
+}
+
+func (t *StateTask) Accumulate(p Partial, lo, hi int, gids []int32) {
+	a := p.(*floatsPartial).arrs[0]
+	switch t.State.Op {
+	case canonical.OpCount:
+		for i := lo; i < hi; i++ {
+			a[gids[i-lo]]++
+		}
+	case canonical.OpSum:
+		in, fn := t.in, t.fn
+		if fn == nil {
+			for i := lo; i < hi; i++ {
+				a[gids[i-lo]] += in(int32(i))
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				a[gids[i-lo]] += fn(in(int32(i)))
+			}
+		}
+	case canonical.OpProd:
+		in, fn := t.in, t.fn
+		if fn == nil {
+			for i := lo; i < hi; i++ {
+				a[gids[i-lo]] *= in(int32(i))
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				a[gids[i-lo]] *= fn(in(int32(i)))
+			}
+		}
+	case canonical.OpMin:
+		in, fn := t.in, t.fn
+		for i := lo; i < hi; i++ {
+			v := in(int32(i))
+			if fn != nil {
+				v = fn(v)
+			}
+			if g := gids[i-lo]; v < a[g] {
+				a[g] = v
+			}
+		}
+	case canonical.OpMax:
+		in, fn := t.in, t.fn
+		for i := lo; i < hi; i++ {
+			v := in(int32(i))
+			if fn != nil {
+				v = fn(v)
+			}
+			if g := gids[i-lo]; v > a[g] {
+				a[g] = v
+			}
+		}
+	}
+}
+
+func (t *StateTask) Merge(dst, src Partial, remap []int32) {
+	d, s := dst.(*floatsPartial).arrs[0], src.(*floatsPartial).arrs[0]
+	st := t.State
+	for g, v := range s {
+		d[remap[g]] = st.Merge(d[remap[g]], v)
+	}
+}
+
+func (t *StateTask) Finalize(p Partial, ngroups int) []float64 {
+	out := make([]float64, ngroups)
+	copy(out, p.(*floatsPartial).arrs[0][:ngroups])
+	return out
+}
+
+// NaiveUDAFTask models a hardcoded UDAF: the same canonical form, but the
+// update function is interpreted per tuple — the argument environment is
+// boxed into a map and both the base expressions and the scalar chains
+// are walked as trees, mirroring the per-row overhead of PL/pgSQL and of
+// Spark's UserDefinedAggregateFunction Row objects. The merge step obeys
+// the same IUME contract, so parallel execution stays correct.
+type NaiveUDAFTask struct {
+	Form *canonical.Form
+	Lbl  string
+	// args are the compiled accessors for the UDAF's actual arguments
+	// (the query engine hands the UDAF its input row, which is fast; the
+	// slowness is in the user's update routine).
+	args []Accessor
+	// updates are the interpreted per-tuple update statements
+	// s_i := s_i ⊕ F_i(args); nil entries (min/max) update natively.
+	updates []expr.Node
+}
+
+// NewNaiveUDAFTask builds the baseline task for a UDAF call.
+func NewNaiveUDAFTask(form *canonical.Form, call *expr.Call, bind func(string) (Accessor, error)) (*NaiveUDAFTask, error) {
+	if len(call.Args) != len(form.Params) {
+		return nil, fmt.Errorf("%s takes %d arguments, got %d", form.Name, len(form.Params), len(call.Args))
+	}
+	t := &NaiveUDAFTask{Form: form, Lbl: form.Name}
+	for _, a := range call.Args {
+		in, err := CompileExpr(a, bind)
+		if err != nil {
+			return nil, err
+		}
+		t.args = append(t.args, in)
+	}
+	for i := range form.States {
+		t.updates = append(t.updates, form.UpdateExpr(i))
+	}
+	return t, nil
+}
+
+func (t *NaiveUDAFTask) Name() string { return t.Lbl }
+
+func (t *NaiveUDAFTask) fills() []float64 {
+	out := make([]float64, len(t.Form.States))
+	for i, s := range t.Form.States {
+		out[i] = s.MergeIdentity()
+	}
+	return out
+}
+
+func (t *NaiveUDAFTask) NewPartial(n int) Partial { return newFloats(n, t.fills()...) }
+
+func (t *NaiveUDAFTask) Grow(p Partial, n int) Partial {
+	p.(*floatsPartial).grow(n, t.fills()...)
+	return p
+}
+
+func (t *NaiveUDAFTask) Accumulate(p Partial, lo, hi int, gids []int32) {
+	fp := p.(*floatsPartial)
+	states := t.Form.States
+	params := t.Form.Params
+	for i := lo; i < hi; i++ {
+		// The hardcoded-UDAF cost model: a boxed per-tuple environment
+		// holding the arguments and the current state values, with each
+		// update statement s_j := s_j ⊕ F_j(args) interpreted as an
+		// expression tree — what an interpreted stored-procedure
+		// accumulator (PL/pgSQL) or a Row-boxing Spark UDAF does per row.
+		env := make(expr.MapEnv, len(params)+len(states))
+		for k, name := range params {
+			env[name] = t.args[k](int32(i))
+		}
+		g := gids[i-lo]
+		for si := range states {
+			env[canonical.StateVar(si)] = fp.arrs[si][g]
+		}
+		for si, s := range states {
+			if t.updates[si] == nil {
+				// min/max: native comparison update.
+				base, err := expr.Eval(s.Base, env)
+				if err != nil {
+					base = math.NaN()
+				}
+				fp.arrs[si][g] = s.Update(fp.arrs[si][g], base)
+				continue
+			}
+			v, err := expr.Eval(t.updates[si], env)
+			if err != nil {
+				v = math.NaN()
+			}
+			fp.arrs[si][g] = v
+		}
+	}
+}
+
+func (t *NaiveUDAFTask) Merge(dst, src Partial, remap []int32) {
+	d, s := dst.(*floatsPartial), src.(*floatsPartial)
+	for si, st := range t.Form.States {
+		da, sa := d.arrs[si], s.arrs[si]
+		for g, v := range sa {
+			da[remap[g]] = st.Merge(da[remap[g]], v)
+		}
+	}
+}
+
+func (t *NaiveUDAFTask) Finalize(p Partial, ngroups int) []float64 {
+	fp := p.(*floatsPartial)
+	out := make([]float64, ngroups)
+	vals := make([]float64, len(t.Form.States))
+	tfn, err := t.Form.CompileT()
+	if err != nil {
+		for g := range out {
+			out[g] = math.NaN()
+		}
+		return out
+	}
+	for g := 0; g < ngroups; g++ {
+		for si := range t.Form.States {
+			vals[si] = fp.arrs[si][g]
+		}
+		out[g] = tfn(vals)
+	}
+	return out
+}

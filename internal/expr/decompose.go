@@ -1,0 +1,73 @@
+package expr
+
+// Helpers for pattern-matching the canonical trees produced by Simplify:
+// a canonical tree is a left-leaning '+' spine of terms; a term is a
+// left-leaning '*' spine whose first factor may be a numeric coefficient;
+// a factor is base or base^Num. The canonicalizer in internal/canonical
+// uses these to factor aggregation states out of UDAF bodies.
+
+// SplitSum flattens the top-level '+' spine of a canonical tree into its
+// additive terms. Non-sum nodes yield a single term.
+func SplitSum(n Node) []Node {
+	if b, ok := n.(*Bin); ok && b.Op == '+' {
+		return append(SplitSum(b.L), SplitSum(b.R)...)
+	}
+	return []Node{n}
+}
+
+// SplitProduct flattens the top-level '*' spine of a term into its factors.
+func SplitProduct(n Node) []Node {
+	if b, ok := n.(*Bin); ok && b.Op == '*' {
+		return append(SplitProduct(b.L), SplitProduct(b.R)...)
+	}
+	return []Node{n}
+}
+
+// SplitFactor decomposes a canonical factor into base and exponent:
+// base^Num yields (base, exponent); anything else is (n, 1).
+func SplitFactor(n Node) (Node, float64) {
+	if b, ok := n.(*Bin); ok && b.Op == '^' {
+		if e, ok := b.R.(*Num); ok {
+			return b.L, e.Val
+		}
+	}
+	return n, 1
+}
+
+// TermParts decomposes a canonical term into its numeric coefficient and
+// its non-numeric factors.
+func TermParts(term Node) (coef float64, factors []Node) {
+	coef = 1
+	for _, f := range SplitProduct(term) {
+		if num, ok := f.(*Num); ok {
+			coef *= num.Val
+			continue
+		}
+		factors = append(factors, f)
+	}
+	return coef, factors
+}
+
+// MulAll multiplies nodes into a single product tree ({} → 1).
+func MulAll(ns []Node) Node {
+	if len(ns) == 0 {
+		return &Num{Val: 1}
+	}
+	out := ns[0]
+	for _, n := range ns[1:] {
+		out = &Bin{Op: '*', L: out, R: n}
+	}
+	return out
+}
+
+// AddAll sums nodes into a single sum tree ({} → 0).
+func AddAll(ns []Node) Node {
+	if len(ns) == 0 {
+		return &Num{Val: 0}
+	}
+	out := ns[0]
+	for _, n := range ns[1:] {
+		out = &Bin{Op: '+', L: out, R: n}
+	}
+	return out
+}

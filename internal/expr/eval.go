@@ -1,0 +1,116 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env supplies variable values during evaluation.
+type Env interface {
+	// Value returns the value bound to name, and whether it is bound.
+	Value(name string) (float64, bool)
+}
+
+// MapEnv is an Env backed by a map.
+type MapEnv map[string]float64
+
+// Value implements Env.
+func (m MapEnv) Value(name string) (float64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Eval evaluates a scalar expression (no aggregate calls) in env.
+// Domain errors (log of a non-positive number, division by zero) surface
+// as NaN or ±Inf, matching SQL engines' floating-point behaviour; callers
+// that need errors should check math.IsNaN/IsInf on the result.
+func Eval(n Node, env Env) (float64, error) {
+	switch t := n.(type) {
+	case *Num:
+		return t.Val, nil
+	case *Var:
+		v, ok := env.Value(t.Name)
+		if !ok {
+			return 0, fmt.Errorf("unbound variable %q", t.Name)
+		}
+		return v, nil
+	case *Neg:
+		v, err := Eval(t.X, env)
+		return -v, err
+	case *Bin:
+		l, err := Eval(t.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Eval(t.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case '+':
+			return l + r, nil
+		case '-':
+			return l - r, nil
+		case '*':
+			return l * r, nil
+		case '/':
+			return l / r, nil
+		case '^':
+			return math.Pow(l, r), nil
+		}
+		return 0, fmt.Errorf("unknown operator %q", t.Op)
+	case *Call:
+		if AggregateFuncs[t.Name] {
+			return 0, fmt.Errorf("aggregate %s() cannot be evaluated as a scalar", t.Name)
+		}
+		args := make([]float64, len(t.Args))
+		for i, a := range t.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return evalScalarFunc(t.Name, args)
+	}
+	return 0, fmt.Errorf("cannot evaluate %T", n)
+}
+
+func evalScalarFunc(name string, args []float64) (float64, error) {
+	switch name {
+	case "sqrt":
+		return math.Sqrt(args[0]), nil
+	case "cbrt":
+		return math.Cbrt(args[0]), nil
+	case "ln":
+		return math.Log(args[0]), nil
+	case "log":
+		return math.Log(args[1]) / math.Log(args[0]), nil
+	case "exp":
+		return math.Exp(args[0]), nil
+	case "abs":
+		return math.Abs(args[0]), nil
+	case "sgn":
+		if args[0] > 0 {
+			return 1, nil
+		} else if args[0] < 0 {
+			return -1, nil
+		}
+		return 0, nil
+	case "pow":
+		return math.Pow(args[0], args[1]), nil
+	case "inv":
+		return 1 / args[0], nil
+	}
+	return 0, fmt.Errorf("unknown scalar function %q", name)
+}
+
+// MustEval evaluates and panics on error; for tests and internal fixed
+// expressions.
+func MustEval(n Node, env Env) float64 {
+	v, err := Eval(n, env)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

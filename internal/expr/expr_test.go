@@ -1,0 +1,326 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"1+2*3", "(1+(2*3))"},
+		{"(1+2)*3", "((1+2)*3)"},
+		{"2^3^2", "(2^(3^2))"},
+		{"-x^2", "(-(x^2))"},
+		{"x-y-z", "((x-y)-z)"},
+		{"sum(x)/count()", "(sum(x)/count())"},
+		{"sqrt(sum(x^2)/n)", "sqrt((sum((x^2))/count()))"},
+		{"log(2, x)", "log(2,x)"},
+		{"a_b2 * C", "(a_b2*C)"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if n.String() != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.src, n.String(), c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1+", "sum(x", "sum()", "count(x)", "log(x)", "sqrt(x,y)",
+		"foo(x)", "1 @ 2", "((x)", "x y", "1..2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", src)
+		}
+	}
+}
+
+func TestParseNumberForms(t *testing.T) {
+	for src, want := range map[string]float64{
+		"1.5e3":  1500,
+		"2E-2":   0.02,
+		"0.25":   0.25,
+		".5":     0.5,
+		"3":      3,
+		"1e2":    100,
+		"1.5e+1": 15,
+	} {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		num, ok := n.(*Num)
+		if !ok || num.Val != want {
+			t.Errorf("Parse(%q) = %v, want %v", src, n, want)
+		}
+	}
+}
+
+func TestSimplifyCanonicalEquality(t *testing.T) {
+	// Pairs that must simplify to identical canonical strings.
+	pairs := [][2]string{
+		{"x*x", "x^2"},
+		{"x*x*x", "x^3"},
+		{"2*x+3*x", "5*x"},
+		{"x*y", "y*x"},
+		{"x+y", "y+x"},
+		{"(3*x)^2", "9*x^2"},
+		{"x^2*x^3", "x^5"},
+		{"x/x", "1"},
+		{"x-x", "0"},
+		{"sqrt(x^2)^2", "x^2"},
+		{"(x-y)^2", "x^2-2*x*y+y^2"},
+		{"pow(x,3)", "x^3"},
+		{"inv(x)", "x^(-1)"},
+		{"sqrt(4)", "2"},
+		{"ln(e)", "1"},
+		{"log(2,8)", "3"},
+		{"2^3", "8"},
+		{"x/(y*z)", "x*y^(-1)*z^(-1)"},
+		{"sum(x*x)", "sum(x^2)"},
+		{"sqrt(sum(x*x)/n)", "sqrt(sum(x^2)/count())"},
+		{"-(-x)", "x"},
+		{"cbrt(x^3)", "x"},
+		{"abs(-3)", "3"},
+		{"sgn(-2)", "-1"},
+		{"x^0", "1"},
+		{"x^1", "x"},
+		{"(x*y)^2", "x^2*y^2"},
+		{"1/(x-y)^2", "(x-y)^(-2)"},
+	}
+	for _, p := range pairs {
+		a := CanonicalString(MustParse(p[0]))
+		b := CanonicalString(MustParse(p[1]))
+		if a != b {
+			t.Errorf("canonical mismatch: %q -> %s, %q -> %s", p[0], a, p[1], b)
+		}
+	}
+}
+
+func TestSimplifyKeepsDistinct(t *testing.T) {
+	pairs := [][2]string{
+		{"x^2", "x^3"},
+		{"sum(x)", "sum(y)"},
+		{"sum(x^2)", "sum(x)^2"},
+		{"ln(x)", "ln(y)"},
+		{"x+y", "x*y"},
+		{"exp(x)", "ln(x)"},
+	}
+	for _, p := range pairs {
+		a := CanonicalString(MustParse(p[0]))
+		b := CanonicalString(MustParse(p[1]))
+		if a == b {
+			t.Errorf("canonical collision: %q and %q both -> %s", p[0], p[1], a)
+		}
+	}
+}
+
+// randomExpr builds a random scalar expression over variables x, y with
+// positive-safe operations so evaluation is well-defined.
+func randomExpr(r *rand.Rand, depth int) Node {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return &Num{Val: float64(r.Intn(9) + 1)}
+		case 1:
+			return &Var{Name: "x"}
+		default:
+			return &Var{Name: "y"}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return &Bin{Op: '+', L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 1:
+		return &Bin{Op: '-', L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 2:
+		return &Bin{Op: '*', L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 3:
+		return &Bin{Op: '/', L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 4:
+		return &Bin{Op: '^', L: randomExpr(r, depth-1), R: &Num{Val: float64(r.Intn(3) + 1)}}
+	default:
+		return &Neg{X: randomExpr(r, depth-1)}
+	}
+}
+
+// TestSimplifyPreservesValue is the core property test: simplification
+// never changes the value of an expression at positive inputs.
+func TestSimplifyPreservesValue(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		n := randomExpr(r, 4)
+		env := MapEnv{"x": 0.5 + r.Float64()*4, "y": 0.5 + r.Float64()*4}
+		v1, err1 := Eval(n, env)
+		v2, err2 := Eval(Simplify(n), env)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval error: %v / %v on %s", err1, err2, n)
+		}
+		if math.IsNaN(v1) || math.IsInf(v1, 0) || hasNonFiniteIntermediate(n, env) {
+			continue // a singular intermediate: algebraic laws do not apply
+		}
+		if diff := math.Abs(v1 - v2); diff > 1e-9*(1+math.Abs(v1)) {
+			t.Fatalf("simplify changed value of %s: %v vs %v (simplified %s)",
+				n, v1, v2, Simplify(n))
+		}
+	}
+}
+
+// hasNonFiniteIntermediate reports whether evaluating any subexpression of
+// n yields NaN or ±Inf (e.g. a division by a coincidental zero), in which
+// case value-preservation of algebraic rewrites is not expected.
+func hasNonFiniteIntermediate(n Node, env Env) bool {
+	bad := false
+	Walk(n, func(m Node) bool {
+		if bad {
+			return false
+		}
+		if v, err := Eval(m, env); err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+			bad = true
+			return false
+		}
+		return true
+	})
+	return bad
+}
+
+// TestSimplifyIdempotent checks Simplify(Simplify(n)) == Simplify(n).
+func TestSimplifyIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		n := randomExpr(r, 4)
+		s1 := Simplify(n)
+		s2 := Simplify(s1)
+		if s1.String() != s2.String() {
+			t.Fatalf("not idempotent: %s -> %s -> %s", n, s1, s2)
+		}
+	}
+}
+
+func TestSimplifyStringRoundTrip(t *testing.T) {
+	// Canonical strings must re-parse to the same canonical form.
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		n := Simplify(randomExpr(r, 3))
+		re, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", n.String(), err)
+		}
+		if CanonicalString(re) != n.String() {
+			t.Fatalf("round trip changed: %s vs %s", n.String(), CanonicalString(re))
+		}
+	}
+}
+
+func TestEvalScalarFunctions(t *testing.T) {
+	env := MapEnv{"x": 4, "y": -2}
+	cases := map[string]float64{
+		"sqrt(x)":     2,
+		"ln(exp(x))":  4,
+		"log(2,x)":    2,
+		"abs(y)":      2,
+		"sgn(y)":      -1,
+		"sgn(0)":      0,
+		"pow(x,0.5)":  2,
+		"inv(x)":      0.25,
+		"cbrt(8)":     2,
+		"x^y":         0.0625,
+		"-x + 2*y":    -8,
+		"exp(0)":      1,
+		"2^(-1)":      0.5,
+		"(x+y)*(x-y)": 12,
+	}
+	for src, want := range cases {
+		got := MustEval(MustParse(src), env)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("Eval(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, err := Eval(MustParse("x+z"), MapEnv{"x": 1}); err == nil {
+		t.Error("expected unbound variable error")
+	}
+	if _, err := Eval(MustParse("sum(x)"), MapEnv{"x": 1}); err == nil {
+		t.Error("expected aggregate-in-scalar error")
+	}
+}
+
+func TestVarsAndWalk(t *testing.T) {
+	n := MustParse("sum(x*y) + count() - b*ln(a)")
+	got := Vars(n)
+	want := []string{"a", "b", "x", "y"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+	if !ContainsAggregate(n) {
+		t.Error("ContainsAggregate should be true")
+	}
+	if ContainsAggregate(MustParse("x+ln(y)")) {
+		t.Error("ContainsAggregate should be false")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	n := MustParse("sum(x)/count()")
+	sub := Substitute(n, map[string]Node{"x": MustParse("price*2")})
+	want := "(sum((price*2))/count())"
+	if sub.String() != want {
+		t.Errorf("Substitute = %s, want %s", sub.String(), want)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParse("sum(x^2)/count()")
+	b := MustParse("sum(x^2)/count()")
+	c := MustParse("sum(x^2)/sum(x)")
+	if !Equal(a, b) {
+		t.Error("Equal(a,b) should be true")
+	}
+	if Equal(a, c) {
+		t.Error("Equal(a,c) should be false")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(2) != "2" {
+		t.Errorf("FormatFloat(2) = %s", FormatFloat(2))
+	}
+	if FormatFloat(0.5) != "0.5" {
+		t.Errorf("FormatFloat(0.5) = %s", FormatFloat(0.5))
+	}
+	if strings.Contains(FormatFloat(1e20), ".") {
+		// large values fall back to 'g'; just ensure it parses back
+		t.Logf("large float format: %s", FormatFloat(1e20))
+	}
+}
+
+// Property: addition commutes under canonicalization (quick check over
+// random small integer coefficient pairs).
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(a, b int8) bool {
+		l := &Bin{Op: '+', L: &Bin{Op: '*', L: &Num{Val: float64(a)}, R: &Var{Name: "x"}}, R: &Num{Val: float64(b)}}
+		r := &Bin{Op: '+', L: &Num{Val: float64(b)}, R: &Bin{Op: '*', L: &Num{Val: float64(a)}, R: &Var{Name: "x"}}}
+		return CanonicalString(l) == CanonicalString(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,421 @@
+package expr
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Simplify brings an expression into a canonical sum-of-products form:
+// constants are folded, products are flattened with collected exponents
+// (x*x becomes x^2), terms with equal factor sets are merged, sums and
+// products are deterministically ordered, and sqrt/cbrt/pow/inv are
+// normalized to the ^ operator. Two algebraically equal expressions that
+// differ only by these laws simplify to structurally equal trees, so
+// Simplify(a).String() == Simplify(b).String() is the equality test used
+// throughout SUDAF (for aggregation-state matching in particular).
+//
+// Simplify never changes the value of the expression on its domain of
+// definition. Power laws on negative bases with fractional exponents are
+// left untouched (kept opaque) rather than rewritten unsoundly.
+func Simplify(n Node) Node {
+	ts := toTerms(n)
+	return fromTerms(ts)
+}
+
+// CanonicalString returns the canonical rendering of an expression; equal
+// expressions (up to the simplifier's algebra) yield equal strings.
+func CanonicalString(n Node) string { return Simplify(n).String() }
+
+// term is coef * Π base_i ^ exp_i with factors sorted by key.
+type term struct {
+	coef    float64
+	factors []factor
+}
+
+// factor is base^exp where base is a canonical non-numeric node.
+type factor struct {
+	base Node
+	exp  float64
+	key  string
+}
+
+func toTerms(n Node) []term {
+	switch t := n.(type) {
+	case *Num:
+		return []term{{coef: t.Val}}
+	case *Var:
+		return []term{{coef: 1, factors: []factor{newFactor(t, 1)}}}
+	case *Neg:
+		return negTerms(toTerms(t.X))
+	case *Bin:
+		switch t.Op {
+		case '+':
+			return addTerms(toTerms(t.L), toTerms(t.R))
+		case '-':
+			return addTerms(toTerms(t.L), negTerms(toTerms(t.R)))
+		case '*':
+			return mulTermLists(toTerms(t.L), toTerms(t.R))
+		case '/':
+			return mulTermLists(toTerms(t.L), invTerms(toTerms(t.R)))
+		case '^':
+			return powTerms(toTerms(t.L), toTerms(t.R))
+		}
+	case *Call:
+		return callTerms(t)
+	}
+	return []term{{coef: 1, factors: []factor{newFactor(n, 1)}}}
+}
+
+func newFactor(base Node, exp float64) factor {
+	return factor{base: base, exp: exp, key: base.String()}
+}
+
+func negTerms(ts []term) []term {
+	out := make([]term, len(ts))
+	for i, t := range ts {
+		out[i] = term{coef: -t.coef, factors: t.factors}
+	}
+	return out
+}
+
+func addTerms(a, b []term) []term {
+	merged := append(append([]term{}, a...), b...)
+	return collectTerms(merged)
+}
+
+// collectTerms expands residual sum-factors, merges terms with identical
+// factor sets, and drops zeros.
+func collectTerms(ts []term) []term {
+	return collectRaw(expandSumFactors(ts))
+}
+
+// expandSumFactors multiplies out factors whose base is a sum raised to a
+// small positive integer exponent (these arise when division by a sum is
+// later cancelled, e.g. x/(x+y)*(x+y)^2). Expansion runs to fixpoint so
+// canonical forms are fully distributed.
+func expandSumFactors(ts []term) []term {
+	for pass := 0; pass < 16; pass++ {
+		changed := false
+		var out []term
+		for _, t := range ts {
+			idx := -1
+			negIdx := -1
+			for i, f := range t.factors {
+				if _, isSum := sumBase(f.base); isSum && f.exp == math.Trunc(f.exp) {
+					if f.exp >= 1 && f.exp <= 6 {
+						idx = i
+						break
+					}
+					if f.exp <= -2 && f.exp >= -6 && negIdx < 0 {
+						negIdx = i
+					}
+				}
+			}
+			if idx < 0 && negIdx >= 0 {
+				// Canonicalize (sum)^(-k) as (expanded sum^k)^(-1) so both
+				// syntactic routes to a reciprocal power coincide.
+				changed = true
+				f := t.factors[negIdx]
+				parts := toTerms(f.base)
+				prod := parts
+				for i := 1; i < int(-f.exp); i++ {
+					prod = rawMulTermLists(prod, parts)
+				}
+				nt := term{coef: t.coef}
+				nt.factors = append(nt.factors, t.factors[:negIdx]...)
+				nt.factors = append(nt.factors, t.factors[negIdx+1:]...)
+				nt.factors = append(nt.factors, newFactor(fromTerms(prod), -1))
+				nt.factors = mergeFactors(nt.factors)
+				out = append(out, nt)
+				continue
+			}
+			if idx < 0 {
+				out = append(out, t)
+				continue
+			}
+			changed = true
+			f := t.factors[idx]
+			rest := term{coef: t.coef}
+			rest.factors = append(rest.factors, t.factors[:idx]...)
+			rest.factors = append(rest.factors, t.factors[idx+1:]...)
+			parts := toTerms(f.base)
+			acc := []term{rest}
+			for i := 0; i < int(f.exp); i++ {
+				acc = rawMulTermLists(acc, parts)
+			}
+			out = append(out, acc...)
+		}
+		ts = out
+		if !changed {
+			break
+		}
+	}
+	return ts
+}
+
+// sumBase reports whether n is a top-level sum (more than one additive term).
+func sumBase(n Node) (Node, bool) {
+	if b, ok := n.(*Bin); ok && (b.Op == '+' || b.Op == '-') {
+		return n, true
+	}
+	return n, false
+}
+
+func rawMulTermLists(a, b []term) []term {
+	var out []term
+	for _, ta := range a {
+		for _, tb := range b {
+			out = append(out, mulTerms(ta, tb))
+		}
+	}
+	return collectRaw(out)
+}
+
+// collectRaw merges terms with identical factor sets and drops zeros.
+func collectRaw(ts []term) []term {
+	byKey := map[string]*term{}
+	var order []string
+	for _, t := range ts {
+		k := factorsKey(t.factors)
+		if ex, ok := byKey[k]; ok {
+			ex.coef += t.coef
+		} else {
+			cp := t
+			byKey[k] = &cp
+			order = append(order, k)
+		}
+	}
+	out := make([]term, 0, len(order))
+	for _, k := range order {
+		if byKey[k].coef != 0 {
+			out = append(out, *byKey[k])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return factorsKey(out[i].factors) < factorsKey(out[j].factors)
+	})
+	return out
+}
+
+func factorsKey(fs []factor) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		sb.WriteString(f.key)
+		sb.WriteByte('^')
+		sb.WriteString(FormatFloat(f.exp))
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+func mulTermLists(a, b []term) []term {
+	var out []term
+	for _, ta := range a {
+		for _, tb := range b {
+			out = append(out, mulTerms(ta, tb))
+		}
+	}
+	return collectTerms(out)
+}
+
+func mulTerms(a, b term) term {
+	res := term{coef: a.coef * b.coef}
+	fs := append(append([]factor{}, a.factors...), b.factors...)
+	res.factors = mergeFactors(fs)
+	return res
+}
+
+func mergeFactors(fs []factor) []factor {
+	byKey := map[string]*factor{}
+	var order []string
+	for _, f := range fs {
+		if ex, ok := byKey[f.key]; ok {
+			ex.exp += f.exp
+		} else {
+			cp := f
+			byKey[f.key] = &cp
+			order = append(order, f.key)
+		}
+	}
+	out := make([]factor, 0, len(order))
+	for _, k := range order {
+		if byKey[k].exp != 0 {
+			out = append(out, *byKey[k])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// invTerms computes the reciprocal of a term list. Single terms invert
+// exactly; sums become an opaque (sum)^-1 factor.
+func invTerms(ts []term) []term {
+	if len(ts) == 0 || (len(ts) == 1 && ts[0].coef == 0 && len(ts[0].factors) == 0) {
+		// Reciprocal of a syntactic zero: keep an explicit 0^-1 marker so
+		// the result stays parseable and idempotent (evaluates to +Inf).
+		opaque := &Bin{Op: '^', L: &Num{Val: 0}, R: &Num{Val: -1}}
+		return []term{{coef: 1, factors: []factor{newFactor(opaque, 1)}}}
+	}
+	if len(ts) == 1 && ts[0].coef != 0 {
+		t := ts[0]
+		inv := term{coef: 1 / t.coef}
+		for _, f := range t.factors {
+			inv.factors = append(inv.factors, factor{base: f.base, exp: -f.exp, key: f.key})
+		}
+		inv.factors = mergeFactors(inv.factors)
+		return []term{inv}
+	}
+	base := fromTerms(ts)
+	return []term{{coef: 1, factors: []factor{newFactor(base, -1)}}}
+}
+
+// powTerms raises base terms to an exponent. Constant exponents distribute
+// over single-term bases when sound; everything else stays opaque.
+func powTerms(base, exp []term) []term {
+	expNode := fromTerms(exp)
+	if en, ok := expNode.(*Num); ok {
+		c := en.Val
+		if c == 0 {
+			return []term{{coef: 1}}
+		}
+		if c == 1 {
+			return base
+		}
+		if len(base) == 1 {
+			t := base[0]
+			// (coef * Πf^e)^c = coef^c * Πf^(e*c), sound when coef > 0,
+			// or when coef is negative and c is an integer.
+			if t.coef > 0 || (t.coef < 0 && c == math.Trunc(c)) {
+				res := term{coef: math.Pow(t.coef, c)}
+				for _, f := range t.factors {
+					res.factors = append(res.factors, factor{base: f.base, exp: f.exp * c, key: f.key})
+				}
+				res.factors = mergeFactors(res.factors)
+				// coef^c may be NaN only for negative coef and non-integer c,
+				// excluded above.
+				return []term{res}
+			}
+		}
+		// Small positive integer powers of sums expand (binomial), which
+		// canonicalizes e.g. (x-y)^2 == x^2 - 2*x*y + y^2.
+		if c == math.Trunc(c) && c >= 2 && c <= 4 && len(base) > 1 {
+			acc := base
+			for i := 1; i < int(c); i++ {
+				acc = mulTermLists(acc, base)
+			}
+			return acc
+		}
+		if c == math.Trunc(c) && c <= -1 && c >= -4 && len(base) > 1 {
+			// Expand the positive power first so that 1/(x-y)^2 and
+			// (x-y)^(-2) reach the same opaque reciprocal factor.
+			pos := base
+			for i := 1; i < int(-c); i++ {
+				pos = mulTermLists(pos, base)
+			}
+			return invTerms(pos)
+		}
+	}
+	bn := fromTerms(base)
+	if bnum, ok := bn.(*Num); ok {
+		if enum, ok2 := expNode.(*Num); ok2 {
+			v := math.Pow(bnum.Val, enum.Val)
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				return []term{{coef: v}}
+			}
+		}
+	}
+	opaque := &Bin{Op: '^', L: bn, R: expNode}
+	return []term{{coef: 1, factors: []factor{newFactor(opaque, 1)}}}
+}
+
+// callTerms simplifies a function call: arguments are canonicalized,
+// sqrt/cbrt/pow/inv rewrite to ^, and constant arguments fold.
+func callTerms(c *Call) []term {
+	args := make([]Node, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = Simplify(a)
+	}
+	switch c.Name {
+	case "sqrt":
+		return powTerms(toTerms(args[0]), []term{{coef: 0.5}})
+	case "cbrt":
+		return powTerms(toTerms(args[0]), []term{{coef: 1.0 / 3}})
+	case "pow":
+		return powTerms(toTerms(args[0]), toTerms(args[1]))
+	case "inv":
+		return invTerms(toTerms(args[0]))
+	case "ln":
+		if n, ok := args[0].(*Num); ok && n.Val > 0 {
+			return []term{{coef: math.Log(n.Val)}}
+		}
+	case "log":
+		if b, ok := args[0].(*Num); ok {
+			if x, ok2 := args[1].(*Num); ok2 && b.Val > 0 && b.Val != 1 && x.Val > 0 {
+				return []term{{coef: math.Log(x.Val) / math.Log(b.Val)}}
+			}
+		}
+	case "exp":
+		if n, ok := args[0].(*Num); ok {
+			return []term{{coef: math.Exp(n.Val)}}
+		}
+	case "abs":
+		if n, ok := args[0].(*Num); ok {
+			return []term{{coef: math.Abs(n.Val)}}
+		}
+	case "sgn":
+		if n, ok := args[0].(*Num); ok {
+			s := 0.0
+			if n.Val > 0 {
+				s = 1
+			} else if n.Val < 0 {
+				s = -1
+			}
+			return []term{{coef: s}}
+		}
+	}
+	canon := &Call{Name: c.Name, Args: args}
+	return []term{{coef: 1, factors: []factor{newFactor(canon, 1)}}}
+}
+
+// fromTerms rebuilds a canonical Node from a term list.
+func fromTerms(ts []term) Node {
+	ts = collectTerms(ts)
+	if len(ts) == 0 {
+		return &Num{Val: 0}
+	}
+	var sum Node
+	for _, t := range ts {
+		tn := termNode(t)
+		if sum == nil {
+			sum = tn
+			continue
+		}
+		sum = &Bin{Op: '+', L: sum, R: tn}
+	}
+	return sum
+}
+
+func termNode(t term) Node {
+	if len(t.factors) == 0 {
+		return &Num{Val: t.coef}
+	}
+	var prod Node
+	for _, f := range t.factors {
+		var fn Node
+		if f.exp == 1 {
+			fn = f.base
+		} else {
+			fn = &Bin{Op: '^', L: f.base, R: &Num{Val: f.exp}}
+		}
+		if prod == nil {
+			prod = fn
+		} else {
+			prod = &Bin{Op: '*', L: prod, R: fn}
+		}
+	}
+	if t.coef == 1 {
+		return prod
+	}
+	return &Bin{Op: '*', L: &Num{Val: t.coef}, R: prod}
+}

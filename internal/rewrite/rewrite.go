@@ -1,0 +1,222 @@
+// Package rewrite implements aggregate-view rewriting over SUDAF state
+// views (Section 2 of the paper, queries Q3 → RQ3'): because SUDAF
+// rewrites UDAFs into sum/count-style aggregation states, a materialized
+// view holding grouped states can answer a new query by *rolling up* the
+// states — joining extra dimension tables, applying extra predicates on
+// view output columns, and re-aggregating to a coarser grouping. This is
+// the classic rewriting of Cohen, Nutt & Serebrenik restricted to the
+// state algebra (sum/count roll up by Σ, min/max by min/max, Π by ×).
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"sudaf/internal/canonical"
+	"sudaf/internal/exec"
+	"sudaf/internal/expr"
+	"sudaf/internal/scalar"
+	"sudaf/internal/sqlparse"
+	"sudaf/internal/storage"
+)
+
+// View is a materialized state view: the stored group table plus the
+// normalized description of the query that produced it.
+type View struct {
+	Name  string
+	Table *storage.Table // group-by columns + one float column per state
+	Info  *exec.DataInfo
+	// States lists the cached states; StateCols maps state key → column.
+	States    []canonical.State
+	StateCols map[string]string
+}
+
+// Rollup describes how to answer a query from a view: the rewritten
+// data part (FROM view + extra tables) and, per requested state, the
+// view column to re-aggregate.
+type Rollup struct {
+	View *View
+	// Stmt is the rewritten statement's data part (no select list):
+	// FROM view, extra tables; WHERE extra joins/filters; GROUP BY.
+	Stmt *sqlparse.Stmt
+	// StateCol maps a requested state key to its view column.
+	StateCol map[string]string
+}
+
+// TryRollup decides whether the query described by q, needing the given
+// states, can be answered from view v, and constructs the roll-up plan.
+// colOwner resolves a column name to its base table. It returns
+// (nil, reason) when rewriting is not possible.
+func TryRollup(q *exec.DataInfo, states []canonical.State, v *View, colOwner func(string) string) (*Rollup, string) {
+	// 1. The view's tables must all appear in the query.
+	qTables := map[string]bool{}
+	for _, t := range q.Tables {
+		qTables[t] = true
+	}
+	for _, t := range v.Info.Tables {
+		if !qTables[t] {
+			return nil, fmt.Sprintf("query lacks view table %s", t)
+		}
+	}
+	vTables := map[string]bool{}
+	for _, t := range v.Info.Tables {
+		vTables[t] = true
+	}
+	var extraTables []string
+	for _, t := range q.Tables {
+		if !vTables[t] {
+			extraTables = append(extraTables, t)
+		}
+	}
+
+	// 2. Every view join and filter must appear in the query (the view's
+	// data is a superset restriction the query also applies).
+	qJoins := map[string]bool{}
+	for _, j := range q.Joins {
+		qJoins[j] = true
+	}
+	for _, j := range v.Info.Joins {
+		if !qJoins[j] {
+			return nil, fmt.Sprintf("query lacks view join %s", j)
+		}
+		delete(qJoins, j)
+	}
+	for t, fs := range v.Info.Filters {
+		qf := map[string]bool{}
+		for _, f := range q.Filters[t] {
+			qf[f] = true
+		}
+		for _, f := range fs {
+			if !qf[f] {
+				return nil, fmt.Sprintf("query lacks view filter %s", f)
+			}
+		}
+	}
+
+	// Columns available after the roll-up scan: the view's group-by
+	// columns plus every column of the extra tables.
+	avail := map[string]bool{}
+	for _, g := range v.Info.GroupBy {
+		avail[g] = true
+	}
+
+	// 3. Remaining query joins must connect through available columns.
+	var extraJoins []sqlparse.Pred
+	for j := range qJoins {
+		l, r, ok := splitJoin(j)
+		if !ok {
+			return nil, fmt.Sprintf("malformed join %s", j)
+		}
+		lT, lC := splitQualified(l)
+		rT, rC := splitQualified(r)
+		lOK := !vTables[lT] || avail[lC]
+		rOK := !vTables[rT] || avail[rC]
+		if !lOK || !rOK {
+			return nil, fmt.Sprintf("join %s needs a non-grouped view column", j)
+		}
+		extraJoins = append(extraJoins, &sqlparse.Cmp{
+			Op: "=",
+			L:  sqlparse.Operand{Col: lC, IsCol: true},
+			R:  sqlparse.Operand{Col: rC, IsCol: true},
+		})
+	}
+
+	// 4. Extra query filters must touch only available columns.
+	var extraFilters []sqlparse.Pred
+	for t, preds := range q.Preds {
+		vf := map[string]bool{}
+		for _, f := range v.Info.Filters[t] {
+			vf[f] = true
+		}
+		for i, p := range preds {
+			if vf[q.Filters[t][i]] {
+				continue // already enforced by the view
+			}
+			if vTables[t] {
+				cols := map[string]bool{}
+				sqlparse.PredColumns(p, cols)
+				for c := range cols {
+					if !avail[c] {
+						return nil, fmt.Sprintf("filter %s needs non-grouped view column %s", q.Filters[t][i], c)
+					}
+				}
+			}
+			extraFilters = append(extraFilters, p)
+		}
+	}
+
+	// 5. Query grouping must be at or above the view's granularity:
+	// each group-by column is either a view group column or lives in an
+	// extra table (joined 1:1 per view group through the extra joins).
+	for _, g := range q.GroupBy {
+		if avail[g] {
+			continue
+		}
+		if vTables[colOwner(g)] {
+			return nil, fmt.Sprintf("group-by column %s not in view grouping", g)
+		}
+	}
+
+	// 6. Every requested state must be stored and roll-uppable.
+	stateCol := map[string]string{}
+	for _, st := range states {
+		col, ok := v.StateCols[st.Key()]
+		if !ok {
+			return nil, fmt.Sprintf("view lacks state %s", st.Key())
+		}
+		switch st.Op {
+		case canonical.OpSum, canonical.OpCount, canonical.OpMin, canonical.OpMax, canonical.OpProd:
+			stateCol[st.Key()] = col
+		default:
+			return nil, fmt.Sprintf("state %s is not distributive", st.Key())
+		}
+	}
+
+	// Assemble the rewritten data part.
+	stmt := &sqlparse.Stmt{Limit: -1}
+	stmt.From = append(stmt.From, sqlparse.TableRef{Name: v.Name})
+	for _, t := range extraTables {
+		stmt.From = append(stmt.From, sqlparse.TableRef{Name: t})
+	}
+	for _, p := range append(extraJoins, extraFilters...) {
+		if stmt.Where == nil {
+			stmt.Where = p
+		} else {
+			stmt.Where = &sqlparse.And{L: stmt.Where, R: p}
+		}
+	}
+	stmt.GroupBy = append(stmt.GroupBy, q.GroupBy...)
+	return &Rollup{View: v, Stmt: stmt, StateCol: stateCol}, ""
+}
+
+// RollupState converts a requested state into the state to compute over
+// the view table: count partials roll up by summation, everything else
+// keeps its merge operation over the stored column.
+func RollupState(st canonical.State, viewCol string) canonical.State {
+	op := st.Op
+	if op == canonical.OpCount {
+		op = canonical.OpSum
+	}
+	return canonical.State{
+		Op:   op,
+		F:    scalar.IdentityChain(),
+		Base: &expr.Var{Name: viewCol},
+	}
+}
+
+// splitJoin parses a normalized join string "t1.c1=t2.c2".
+func splitJoin(j string) (string, string, bool) {
+	i := strings.IndexByte(j, '=')
+	if i < 0 {
+		return "", "", false
+	}
+	return j[:i], j[i+1:], true
+}
+
+// splitQualified splits "table.column".
+func splitQualified(q string) (table, col string) {
+	if i := strings.LastIndexByte(q, '.'); i >= 0 {
+		return q[:i], q[i+1:]
+	}
+	return "", q
+}

@@ -1,0 +1,139 @@
+package scalar
+
+import "math"
+
+// Props describes a chain's properties over its natural real domain, the
+// classification that drives Table 3's case analysis (Figure 3 in the
+// paper: every non-constant PS∘ function is either injective or even).
+type Props struct {
+	// Constant: the function ignores x.
+	Constant bool
+	// Injective on its natural domain.
+	Injective bool
+	// Even: f(-x) = f(x) wherever defined.
+	Even bool
+	// Odd: f(-x) = -f(x) wherever defined.
+	Odd bool
+	// NeedsPositive: the natural domain is contained in (0, ∞) — a log or
+	// fractional power constrains the raw input before any even primitive
+	// neutralizes signs.
+	NeedsPositive bool
+}
+
+// primProps returns the properties of a single primitive on its natural
+// domain. Symbolic coefficients are assumed positive and non-degenerate
+// (≠0, and ≠1 for bases), per the paper's parameter classes.
+type primProps struct {
+	constant      bool
+	injective     bool
+	even          bool
+	odd           bool
+	needsPositive bool
+}
+
+func propsOf(p Prim) primProps {
+	switch p.Kind {
+	case KConst:
+		return primProps{constant: true}
+	case KLinear:
+		return primProps{injective: true, odd: true}
+	case KPower:
+		a, ok := coefNum(p.A)
+		if !ok {
+			// Symbolic exponent: positive-domain use only; injective there.
+			return primProps{injective: true, needsPositive: true}
+		}
+		if a == 0 {
+			return primProps{constant: true}
+		}
+		if a == math.Trunc(a) {
+			if int64(a)%2 == 0 {
+				return primProps{even: true}
+			}
+			return primProps{injective: true, odd: true}
+		}
+		// Fractional power: defined (by math.Pow semantics) for x ≥ 0 only.
+		return primProps{injective: true, needsPositive: true}
+	case KLog:
+		return primProps{injective: true, needsPositive: true}
+	case KExp:
+		return primProps{injective: true}
+	}
+	return primProps{}
+}
+
+// Classify computes the chain's properties by composing primitive
+// properties innermost-first:
+//
+//   - the chain is constant iff any primitive is constant;
+//   - injective iff all primitives are injective;
+//   - even iff some primitive is even and all primitives inside it are odd
+//     (an odd prefix preserves the symmetry the even primitive collapses);
+//   - odd iff all primitives are odd;
+//   - needs a positive input iff some primitive needs a positive input and
+//     every primitive inside it is odd or injective-on-ℝ (so the
+//     constraint propagates to x itself) and no even primitive precedes it.
+func (c Chain) Classify() Props {
+	n := c.NormalizeReal()
+	if len(n.Prims) == 0 {
+		return Props{Injective: true, Odd: true}
+	}
+	res := Props{Injective: true, Odd: true}
+	sawEven := false
+	for _, p := range n.Prims {
+		pp := propsOf(p)
+		if pp.constant {
+			return Props{Constant: true}
+		}
+		if !pp.injective {
+			res.Injective = false
+		}
+		if pp.needsPositive && !sawEven {
+			res.NeedsPositive = true
+		}
+		if pp.even && !sawEven {
+			if res.Odd { // everything inside the even primitive was odd
+				res.Even = true
+			}
+			sawEven = true
+		}
+		if !pp.odd {
+			res.Odd = false
+		}
+	}
+	if res.Even {
+		res.Odd = false
+	}
+	return res
+}
+
+// Inverse returns the inverse chain on the positive domain, where every
+// non-constant primitive is injective. It fails for constant primitives
+// and numerically-zero coefficients.
+func (c Chain) Inverse() (Chain, bool) {
+	inv := make([]Prim, 0, len(c.Prims))
+	for i := len(c.Prims) - 1; i >= 0; i-- {
+		p := c.Prims[i]
+		switch p.Kind {
+		case KConst:
+			return Chain{}, false
+		case KLinear:
+			if isZeroCoef(p.A) {
+				return Chain{}, false
+			}
+			inv = append(inv, Prim{KLinear, CInv(p.A)})
+		case KPower:
+			if isZeroCoef(p.A) {
+				return Chain{}, false
+			}
+			inv = append(inv, Prim{KPower, CInv(p.A)})
+		case KLog:
+			inv = append(inv, Prim{KExp, p.A})
+		case KExp:
+			inv = append(inv, Prim{KLog, p.A})
+		default:
+			return Chain{}, false
+		}
+	}
+	return Chain{Prims: inv}, true
+}

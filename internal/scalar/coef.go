@@ -1,0 +1,197 @@
+// Package scalar implements the primitive scalar-function algebra of the
+// SUDAF paper (Table 2): the class PS of primitive scalar functions
+// (constants, a·x, x^a, log_a x, a^x), their compositions PS∘ as chains,
+// a positive-domain normalization rewrite system, inverses, and the
+// injective/even classification of Figure 3.
+//
+// Coefficients are either concrete numbers or symbolic parameter
+// expressions, so the same normalization and sharing machinery serves both
+// the runtime decision procedure (concrete states such as Σ4x²) and the
+// precomputed symbolic space saggs_l (parameterized states such as
+// Σ p₂·x^p₁).
+package scalar
+
+import (
+	"fmt"
+	"math"
+
+	"sudaf/internal/expr"
+)
+
+// Coef is a coefficient in a primitive scalar function: either a concrete
+// number (Num) or a symbolic expression over named parameters (Param,
+// OpCoef). Symbolic coefficients are assumed positive, matching the
+// paper's parameter classes (log and exponential bases are >0 and ≠1,
+// linear and power coefficients are ≠0) and the positive-domain setting in
+// which symbolic sharing is decided (Section 5.3 reduces to |x|).
+type Coef interface {
+	fmt.Stringer
+	isCoef()
+}
+
+// Num is a concrete numeric coefficient.
+type Num float64
+
+// Param is a named symbolic parameter, e.g. "p1".
+type Param string
+
+// OpCoef is a symbolic operation over coefficients.
+// Op is one of '*', '/', '^', 'n' (natural log of L; R unused).
+type OpCoef struct {
+	Op   byte
+	L, R Coef
+}
+
+func (Num) isCoef()    {}
+func (Param) isCoef()  {}
+func (OpCoef) isCoef() {}
+
+func (n Num) String() string   { return expr.FormatFloat(float64(n)) }
+func (p Param) String() string { return string(p) }
+
+func (o OpCoef) String() string {
+	if o.Op == 'n' {
+		return "ln(" + o.L.String() + ")"
+	}
+	return "(" + o.L.String() + string(o.Op) + o.R.String() + ")"
+}
+
+// CMul multiplies coefficients, folding constants.
+func CMul(a, b Coef) Coef {
+	an, aok := a.(Num)
+	bn, bok := b.(Num)
+	if aok && bok {
+		return Num(float64(an) * float64(bn))
+	}
+	if aok && float64(an) == 1 {
+		return b
+	}
+	if bok && float64(bn) == 1 {
+		return a
+	}
+	return OpCoef{Op: '*', L: a, R: b}
+}
+
+// CDiv divides coefficients, folding constants.
+func CDiv(a, b Coef) Coef {
+	an, aok := a.(Num)
+	bn, bok := b.(Num)
+	if aok && bok && float64(bn) != 0 {
+		return Num(float64(an) / float64(bn))
+	}
+	if bok && float64(bn) == 1 {
+		return a
+	}
+	return OpCoef{Op: '/', L: a, R: b}
+}
+
+// CPow raises a to the b-th power, folding constants when the result is
+// well defined.
+func CPow(a, b Coef) Coef {
+	an, aok := a.(Num)
+	bn, bok := b.(Num)
+	if aok && bok {
+		v := math.Pow(float64(an), float64(bn))
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			return Num(v)
+		}
+	}
+	if bok && float64(bn) == 1 {
+		return a
+	}
+	if aok && float64(an) == 1 {
+		return Num(1)
+	}
+	return OpCoef{Op: '^', L: a, R: b}
+}
+
+// CInv is the reciprocal.
+func CInv(a Coef) Coef { return CDiv(Num(1), a) }
+
+// CLn is the natural logarithm of a coefficient.
+func CLn(a Coef) Coef {
+	if an, ok := a.(Num); ok && float64(an) > 0 {
+		return Num(math.Log(float64(an)))
+	}
+	return OpCoef{Op: 'n', L: a}
+}
+
+// CLog is log base `base` of x, i.e. ln x / ln base.
+func CLog(base, x Coef) Coef { return CDiv(CLn(x), CLn(base)) }
+
+// CEval evaluates a coefficient under parameter bindings. Unbound
+// parameters yield an error.
+func CEval(c Coef, bind map[string]float64) (float64, error) {
+	switch t := c.(type) {
+	case Num:
+		return float64(t), nil
+	case Param:
+		v, ok := bind[string(t)]
+		if !ok {
+			return 0, fmt.Errorf("unbound parameter %q", string(t))
+		}
+		return v, nil
+	case OpCoef:
+		l, err := CEval(t.L, bind)
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case 'n':
+			return math.Log(l), nil
+		}
+		r, err := CEval(t.R, bind)
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case '*':
+			return l * r, nil
+		case '/':
+			return l / r, nil
+		case '^':
+			return math.Pow(l, r), nil
+		}
+	}
+	return 0, fmt.Errorf("cannot evaluate coefficient %v", c)
+}
+
+// coefNum extracts a concrete value if the coefficient is a Num.
+func coefNum(c Coef) (float64, bool) {
+	n, ok := c.(Num)
+	return float64(n), ok
+}
+
+// isOneCoef reports whether c is known to equal 1 (concrete only).
+func isOneCoef(c Coef) bool {
+	v, ok := coefNum(c)
+	return ok && approxEq(v, 1)
+}
+
+// isZeroCoef reports whether c is known to equal 0 (concrete only).
+func isZeroCoef(c Coef) bool {
+	v, ok := coefNum(c)
+	return ok && v == 0
+}
+
+// approxEq compares floats with a relative tolerance suitable for chained
+// coefficient arithmetic.
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// CoefParams collects the parameter names appearing in c.
+func CoefParams(c Coef, into map[string]bool) {
+	switch t := c.(type) {
+	case Param:
+		into[string(t)] = true
+	case OpCoef:
+		CoefParams(t.L, into)
+		if t.R != nil {
+			CoefParams(t.R, into)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package scalar
+
+import "math"
+
+// Normalize brings a chain into positive-domain normal form by rewriting
+// to fixpoint with the laws of the primitive algebra:
+//
+//	x^a ∘ x^b            = x^(a·b)
+//	a·(b·x)              = (a·b)·x
+//	(b·x)^a              = b^a · x^a
+//	log_a(x^b)           = b · log_a(x)
+//	log_a(b^x)           = log_a(b) · x
+//	b^(log_a x)          = x^(log_a b)
+//	a^(b·x)              = (a^b)^x
+//	(a^x)^b              = (a^b)^x
+//	log_a(x)             = (1/ln a) · ln(x)      (logs canonicalize to base e)
+//	f ∘ const            = const
+//
+// Identity primitives are dropped. These laws hold for x > 0, the domain
+// in which the sharing machinery operates after the even-function/sign
+// reduction of Section 5.3; Classify (not Normalize) is responsible for
+// whole-real-line reasoning. Symbolic coefficients are assumed positive.
+func (c Chain) Normalize() Chain { return c.normalize(modePositiveInput) }
+
+// NormalizeReal is like Normalize but assumes nothing about the sign of
+// the input: only rewrites sound on the whole real line are applied. Used
+// by Classify, which reasons about evenness over ℝ.
+func (c Chain) NormalizeReal() Chain { return c.normalize(modeReal) }
+
+// NormalizeAssumePositive rewrites as if every intermediate value were
+// positive, enabling range-consistent cancellations such as
+// (√u)² = u inside f₂∘f₂⁻¹ compositions. Sound only when the chain is
+// applied to values in the range where those intermediates are indeed
+// positive; the sharing decision procedure uses it and gates acceptance
+// behind numeric verification.
+func (c Chain) NormalizeAssumePositive() Chain { return c.normalize(modeAllPositive) }
+
+// Normalization modes: what may be assumed about value signs.
+const (
+	modeReal          = iota // nothing known about the input sign
+	modePositiveInput        // the raw input is positive; track through chain
+	modeAllPositive          // every intermediate is positive
+)
+
+func (c Chain) normalize(mode int) Chain {
+	prims := make([]Prim, len(c.Prims))
+	copy(prims, c.Prims)
+	for iter := 0; iter < 100; iter++ {
+		next, changed := normalizePass(prims, mode)
+		prims = next
+		if !changed {
+			break
+		}
+	}
+	return Chain{Prims: prims}
+}
+
+// positiveBefore computes, for each primitive position, whether its input
+// is guaranteed positive: the raw input is positive iff positiveInput;
+// exponentials always emit positives; logarithms emit unknown signs;
+// powers and positive linears preserve positivity.
+func positiveBefore(prims []Prim, positiveInput bool) []bool {
+	out := make([]bool, len(prims)+1)
+	pos := positiveInput
+	out[0] = pos
+	for i, p := range prims {
+		switch p.Kind {
+		case KConst:
+			v, ok := coefNum(p.A)
+			pos = !ok || v > 0 // symbolic constants assumed positive
+		case KLinear:
+			v, ok := coefNum(p.A)
+			if ok && v < 0 {
+				pos = false
+			} else if ok && v == 0 {
+				pos = false
+			}
+			// positive coefficient (or symbolic, assumed positive): keep pos
+		case KPower:
+			// u>0 → u^a>0; unknown stays unknown
+		case KLog:
+			pos = false // log of a positive can be any sign
+		case KExp:
+			pos = true // a^u > 0 always
+		}
+		out[i+1] = pos
+	}
+	return out
+}
+
+func normalizePass(prims []Prim, mode int) ([]Prim, bool) {
+	changed := false
+
+	// Singleton rewrites.
+	out := make([]Prim, 0, len(prims))
+	for _, p := range prims {
+		switch {
+		case p.IsIdentity():
+			changed = true
+			continue
+		case p.Kind == KPower && isZeroCoef(p.A):
+			out = append(out, Const(1))
+			changed = true
+		case p.Kind == KLinear && isZeroCoef(p.A):
+			out = append(out, Const(0))
+			changed = true
+		case p.Kind == KLog && !isNaturalBase(p.A):
+			// log_a x = (1/ln a)·ln x
+			out = append(out, Prim{KLog, Num(E)}, Prim{KLinear, CInv(CLn(p.A))})
+			changed = true
+		default:
+			out = append(out, p)
+		}
+	}
+	prims = out
+
+	// Constant collapse: once a constant appears, everything before it is
+	// dead and everything after evaluates to a constant coefficient.
+	for i, p := range prims {
+		if p.Kind == KConst {
+			if i == 0 && len(prims) == 1 {
+				break // already minimal
+			}
+			v := p.A
+			for _, q := range prims[i+1:] {
+				v = applyToCoef(q, v)
+			}
+			return []Prim{{KConst, v}}, true
+		}
+	}
+
+	// Adjacent-pair rewrites. Scan innermost-first; restart after a change
+	// by reporting changed and letting the caller loop. Each rule checks
+	// whether it is sound given the (possibly unknown) sign of the pair's
+	// input value.
+	posAt := positiveBefore(prims, mode == modePositiveInput)
+	for i := 0; i+1 < len(prims); i++ {
+		p, q := prims[i], prims[i+1] // q ∘ p
+		inputPos := posAt[i] || mode == modeAllPositive
+		if repl, ok := rewritePair(p, q, inputPos); ok {
+			res := make([]Prim, 0, len(prims)-2+len(repl))
+			res = append(res, prims[:i]...)
+			res = append(res, repl...)
+			res = append(res, prims[i+2:]...)
+			return res, true
+		}
+	}
+	return prims, changed
+}
+
+// isNaturalBase reports whether a log base coefficient is (numerically) e.
+func isNaturalBase(a Coef) bool {
+	v, ok := coefNum(a)
+	return ok && approxEq(v, E)
+}
+
+// applyToCoef applies a primitive to a constant coefficient value.
+func applyToCoef(p Prim, v Coef) Coef {
+	switch p.Kind {
+	case KConst:
+		return p.A
+	case KLinear:
+		return CMul(p.A, v)
+	case KPower:
+		return CPow(v, p.A)
+	case KLog:
+		return CLog(p.A, v)
+	case KExp:
+		return CPow(p.A, v)
+	}
+	return v
+}
+
+// rewritePair rewrites the composition q∘p (p applied first) when a law
+// applies, returning the replacement primitives (innermost first).
+// inputPos reports whether the input to p is guaranteed positive; rules
+// that are only sound on positive inputs require it (or an exponent-parity
+// condition that makes them sound for all reals).
+func rewritePair(p, q Prim, inputPos bool) ([]Prim, bool) {
+	switch {
+	case p.Kind == KLinear && q.Kind == KLinear:
+		return []Prim{{KLinear, CMul(p.A, q.A)}}, true
+
+	case p.Kind == KPower && q.Kind == KPower:
+		// (u^a)^b = u^(ab): always for u>0; for arbitrary u when both
+		// exponents are integers.
+		if !inputPos && !(isIntCoef(p.A) && isIntCoef(q.A)) {
+			return nil, false
+		}
+		return []Prim{{KPower, CMul(p.A, q.A)}}, true
+
+	case p.Kind == KLinear && q.Kind == KPower:
+		// (b·u)^a = b^a · u^a: for u>0 with b>0, or any u with a integer.
+		bv, bok := coefNum(p.A)
+		if !(isIntCoef(q.A) || ((!bok || bv > 0) && inputPos)) {
+			return nil, false
+		}
+		if bok && bv < 0 && !isIntCoef(q.A) {
+			return nil, false
+		}
+		return []Prim{{KPower, q.A}, {KLinear, CPow(p.A, q.A)}}, true
+
+	case p.Kind == KPower && q.Kind == KLog:
+		// log_a(u^b) = b·log_a(u): for u>0, or for any u when b is an odd
+		// integer (then u<0 makes both sides NaN consistently).
+		if !inputPos && !isOddIntCoef(p.A) {
+			return nil, false
+		}
+		return []Prim{{KLog, q.A}, {KLinear, p.A}}, true
+
+	case p.Kind == KExp && q.Kind == KLog:
+		// log_a(b^x) = log_a(b)·x.
+		return []Prim{{KLinear, CLog(q.A, p.A)}}, true
+
+	case p.Kind == KLog && q.Kind == KExp:
+		// b^(log_a u) = u^(log_a b) for u>0 (u<0 would turn a NaN into a
+		// possibly-defined power, so require positivity).
+		if !inputPos {
+			return nil, false
+		}
+		return []Prim{{KPower, CLog(p.A, q.A)}}, true
+
+	case p.Kind == KLinear && q.Kind == KExp:
+		// a^(b·x) = (a^b)^x.
+		return []Prim{{KExp, CPow(q.A, p.A)}}, true
+
+	case p.Kind == KExp && q.Kind == KPower:
+		// (a^x)^b = (a^b)^x.
+		return []Prim{{KExp, CPow(p.A, q.A)}}, true
+	}
+	return nil, false
+}
+
+// isIntCoef reports whether the coefficient is a concrete integer.
+func isIntCoef(c Coef) bool {
+	v, ok := coefNum(c)
+	return ok && v == math.Trunc(v)
+}
+
+// isOddIntCoef reports whether the coefficient is a concrete odd integer.
+func isOddIntCoef(c Coef) bool {
+	v, ok := coefNum(c)
+	return ok && v == math.Trunc(v) && int64(v)%2 != 0
+}

@@ -1,0 +1,321 @@
+package scalar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol*(1+math.Abs(want)) {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestPrimEval(t *testing.T) {
+	cases := []struct {
+		p    Prim
+		x    float64
+		want float64
+	}{
+		{Const(7), 3, 7},
+		{Linear(2), 3, 6},
+		{PowerP(2), 3, 9},
+		{LogP(E), E, 1},
+		{LogP(2), 8, 3},
+		{ExpP(2), 3, 8},
+		{Identity(), 5, 5},
+	}
+	for _, c := range cases {
+		approx(t, c.p.Eval(c.x), c.want, 1e-12, c.p.String())
+	}
+}
+
+func TestChainEvalOrder(t *testing.T) {
+	// Chain{power 2, linear 4} is 4·x², not (4x)².
+	ch := NewChain(PowerP(2), Linear(4))
+	approx(t, ch.Eval(3), 36, 1e-12, "4*x^2 at 3")
+	ch2 := NewChain(Linear(4), PowerP(2))
+	approx(t, ch2.Eval(3), 144, 1e-12, "(4x)^2 at 3")
+}
+
+// randChain builds a random chain whose natural domain includes (0, ∞).
+func randChain(r *rand.Rand, n int) Chain {
+	prims := make([]Prim, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			prims = append(prims, Linear(float64(r.Intn(5)+1)))
+		case 1:
+			prims = append(prims, PowerP([]float64{0.5, 1, 2, 3, -1}[r.Intn(5)]))
+		case 2:
+			prims = append(prims, LogP([]float64{2, E, 10}[r.Intn(3)]))
+		case 3:
+			prims = append(prims, ExpP([]float64{2, E, 0.5}[r.Intn(3)]))
+		default:
+			prims = append(prims, Identity())
+		}
+	}
+	return Chain{Prims: prims}
+}
+
+// TestNormalizePreservesValue: normalization never changes chain values on
+// the positive domain (the paper's setting after the |x| reduction).
+func TestNormalizePreservesValue(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		ch := randChain(r, 1+r.Intn(4))
+		norm := ch.Normalize()
+		x := 0.1 + r.Float64()*5
+		v1 := ch.Eval(x)
+		v2 := norm.Eval(x)
+		if math.IsNaN(v1) || math.IsInf(v1, 0) {
+			continue // left the positive domain mid-chain (e.g. log of tiny → negative → power)
+		}
+		if math.IsNaN(v2) || math.Abs(v1-v2) > 1e-6*(1+math.Abs(v1)) {
+			t.Fatalf("normalize changed value: %s -> %s at x=%v: %v vs %v",
+				ch, norm, x, v1, v2)
+		}
+	}
+}
+
+func TestNormalizeLaws(t *testing.T) {
+	cases := []struct {
+		in   Chain
+		want Chain
+	}{
+		// x^2 ∘ x^3 = x^6
+		{NewChain(PowerP(3), PowerP(2)), NewChain(PowerP(6))},
+		// 2·(3·x) = 6·x
+		{NewChain(Linear(3), Linear(2)), NewChain(Linear(6))},
+		// (2x)^3 = 8·x^3
+		{NewChain(Linear(2), PowerP(3)), NewChain(PowerP(3), Linear(8))},
+		// ln(x^5) = 5·ln x
+		{NewChain(PowerP(5), LogP(E)), NewChain(LogP(E), Linear(5))},
+		// ln(2^x) = ln2 · x
+		{NewChain(ExpP(2), LogP(E)), NewChain(Linear(math.Log(2)))},
+		// 2^(ln x) = x^(ln 2)
+		{NewChain(LogP(E), ExpP(2)), NewChain(PowerP(math.Log(2)))},
+		// e^(2x) = (e^2)^x
+		{NewChain(Linear(2), ExpP(E)), NewChain(ExpP(math.Exp(2)))},
+		// (2^x)^3 = 8^x
+		{NewChain(ExpP(2), PowerP(3)), NewChain(ExpP(8))},
+		// log_2 x = (1/ln2)·ln x
+		{NewChain(LogP(2)), NewChain(LogP(E), Linear(1/math.Log(2)))},
+		// identity drops
+		{NewChain(Identity(), PowerP(2), Identity()), NewChain(PowerP(2))},
+		// x^0 is the constant 1
+		{NewChain(PowerP(0), Linear(3)), NewChain(Const(3))},
+		// const collapses the whole chain
+		{NewChain(PowerP(2), Const(5), Linear(2)), NewChain(Const(10))},
+	}
+	for _, c := range cases {
+		got := c.in.Normalize()
+		if !got.Equal(c.want) {
+			t.Errorf("Normalize(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		ch := randChain(r, 1+r.Intn(4))
+		n1 := ch.Normalize()
+		n2 := n1.Normalize()
+		if !n1.Equal(n2) {
+			t.Fatalf("not idempotent: %s -> %s -> %s", ch, n1, n2)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		ch := randChain(r, 1+r.Intn(3)).Normalize()
+		if !ch.Classify().Injective {
+			continue // the formal inverse is only meaningful for injections
+		}
+		inv, ok := ch.Inverse()
+		if !ok {
+			if !ch.Classify().Constant {
+				t.Fatalf("inverse failed for non-constant %s", ch)
+			}
+			continue
+		}
+		x := 0.2 + r.Float64()*3
+		y := ch.Eval(x)
+		if math.IsNaN(y) || math.IsInf(y, 0) || y <= 0 {
+			continue // outside the invertible positive range
+		}
+		back := inv.Eval(y)
+		if math.IsNaN(back) || math.Abs(back-x) > 1e-6*(1+x) {
+			t.Fatalf("inverse round trip failed: %s, inv %s, x=%v -> y=%v -> %v",
+				ch, inv, x, y, back)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		ch   Chain
+		want Props
+	}{
+		{NewChain(Linear(3)), Props{Injective: true, Odd: true}},
+		{NewChain(PowerP(2)), Props{Even: true}},
+		{NewChain(PowerP(3)), Props{Injective: true, Odd: true}},
+		{NewChain(PowerP(2), Linear(4)), Props{Even: true}},
+		// x^6 normalizes from x^3∘x^2; even.
+		{NewChain(PowerP(3), PowerP(2)), Props{Even: true}},
+		// 4·x² then x³ → x^6 scaled: still even.
+		{NewChain(PowerP(2), PowerP(3)), Props{Even: true}},
+		{NewChain(LogP(E)), Props{Injective: true, NeedsPositive: true}},
+		{NewChain(ExpP(2)), Props{Injective: true}},
+		{NewChain(PowerP(0.5)), Props{Injective: true, NeedsPositive: true}},
+		{NewChain(Const(3)), Props{Constant: true}},
+		// ln(x²): even, not injective, defined on x≠0 (not needs-positive).
+		{NewChain(PowerP(2), LogP(E)), Props{Even: true}},
+		// x^-1: odd injective.
+		{NewChain(PowerP(-1)), Props{Injective: true, Odd: true}},
+		// x^-2: even.
+		{NewChain(PowerP(-2)), Props{Even: true}},
+		// 2^(x²): even (inner even).
+		{NewChain(PowerP(2), ExpP(2)), Props{Even: true}},
+		// (ln x)²: needs positive, not injective on its domain... but on
+		// x>0, ln covers all of ℝ then squaring loses injectivity.
+		{NewChain(LogP(E), PowerP(2)), Props{NeedsPositive: true}},
+	}
+	for _, c := range cases {
+		got := c.ch.Classify()
+		if got != c.want {
+			t.Errorf("Classify(%s) = %+v, want %+v", c.ch, got, c.want)
+		}
+	}
+}
+
+// TestClassifyEvenNumeric verifies the Even flag numerically: for chains
+// classified even, f(-x) == f(x) at sample points.
+func TestClassifyEvenNumeric(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		ch := randChain(r, 1+r.Intn(3))
+		props := ch.Classify()
+		if !props.Even {
+			continue
+		}
+		for j := 0; j < 5; j++ {
+			x := 0.3 + r.Float64()*2
+			fp := ch.Eval(x)
+			fm := ch.Eval(-x)
+			if math.IsNaN(fp) || math.IsNaN(fm) {
+				continue
+			}
+			if math.Abs(fp-fm) > 1e-9*(1+math.Abs(fp)) {
+				t.Fatalf("chain %s classified Even but f(%v)=%v, f(-%v)=%v",
+					ch, x, fp, x, fm)
+			}
+		}
+	}
+}
+
+// TestClassifyInjectiveNumeric: chains classified injective must not map
+// two distinct sample points to the same value.
+func TestClassifyInjectiveNumeric(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		ch := randChain(r, 1+r.Intn(3))
+		props := ch.Classify()
+		if !props.Injective || props.Constant {
+			continue
+		}
+		xs := []float64{0.5, 0.7, 1.1, 1.9, 2.4, 3.3}
+		type pt struct{ x, y float64 }
+		var pts []pt
+		for _, x := range xs {
+			y := ch.Eval(x)
+			if math.IsNaN(y) || math.IsInf(y, 0) || math.Abs(y) < 1e-300 {
+				continue // NaN/overflow/underflow: float artifacts, not math
+			}
+			for _, p := range pts {
+				// Equal values (relative to their own magnitude) at
+				// distinct inputs contradict injectivity.
+				if p.y == y || math.Abs(p.y-y) <= 1e-9*math.Max(math.Abs(p.y), math.Abs(y)) {
+					t.Fatalf("chain %s classified injective but f(%v)=%v, f(%v)=%v",
+						ch, p.x, p.y, x, y)
+				}
+			}
+			pts = append(pts, pt{x, y})
+		}
+	}
+}
+
+func TestSymbolicCoefficients(t *testing.T) {
+	// Symbolic chain: p2·x^p1, normalized from (x^p1)·p2.
+	ch := NewChain(Prim{KPower, Param("p1")}, Prim{KLinear, Param("p2")})
+	v, err := ch.EvalWith(3, map[string]float64{"p1": 2, "p2": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, 36, 1e-12, "p2*x^p1")
+
+	// Normalization with symbolic coefficients: (p1·x)^p2 → x^p2 · p1^p2.
+	ch2 := NewChain(Prim{KLinear, Param("p1")}, Prim{KPower, Param("p2")}).Normalize()
+	v2, err := ch2.EvalWith(2, map[string]float64{"p1": 3, "p2": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v2, 36, 1e-12, "(p1*x)^p2 normalized")
+
+	params := ch2.Params()
+	if !params["p1"] || !params["p2"] {
+		t.Errorf("Params = %v, want p1 and p2", params)
+	}
+}
+
+func TestCoefOps(t *testing.T) {
+	if v, _ := CEval(CMul(Num(3), Num(4)), nil); v != 12 {
+		t.Errorf("CMul: %v", v)
+	}
+	if v, _ := CEval(CPow(Num(2), Num(10)), nil); v != 1024 {
+		t.Errorf("CPow: %v", v)
+	}
+	if v, _ := CEval(CLog(Num(2), Num(8)), nil); math.Abs(v-3) > 1e-12 {
+		t.Errorf("CLog: %v", v)
+	}
+	if v, _ := CEval(CInv(Num(4)), nil); v != 0.25 {
+		t.Errorf("CInv: %v", v)
+	}
+	// Symbolic fold-through
+	c := CMul(Param("a"), CInv(Param("a")))
+	v, err := CEval(c, map[string]float64{"a": 7})
+	if err != nil || math.Abs(v-1) > 1e-12 {
+		t.Errorf("symbolic CEval: %v, %v", v, err)
+	}
+	if _, err := CEval(Param("zz"), nil); err == nil {
+		t.Error("expected unbound parameter error")
+	}
+}
+
+func TestRender(t *testing.T) {
+	ch := NewChain(PowerP(2), Linear(4))
+	if got := ch.Render("x"); got != "4*((x)^2)" {
+		t.Errorf("Render = %q", got)
+	}
+	ch2 := NewChain(LogP(E))
+	if got := ch2.Render("v"); got != "ln(v)" {
+		t.Errorf("Render = %q", got)
+	}
+}
+
+func TestChainEqual(t *testing.T) {
+	a := NewChain(PowerP(3), PowerP(2))
+	b := NewChain(PowerP(6))
+	if !a.Equal(b) {
+		t.Error("x^6 chains should be equal after normalization")
+	}
+	c := NewChain(PowerP(5))
+	if a.Equal(c) {
+		t.Error("x^6 != x^5")
+	}
+}

@@ -1,0 +1,165 @@
+// Package sqlparse implements the SQL dialect of the SUDAF engine: SELECT
+// statements with comma and JOIN..ON joins, conjunctive/disjunctive WHERE
+// predicates, GROUP BY, ORDER BY, LIMIT, and FROM-subqueries. Select
+// expressions reuse the internal/expr AST so UDAF calls embed naturally
+// in projections (e.g. theta1(ss_list_price, ss_sales_price)).
+package sqlparse
+
+import (
+	"strings"
+
+	"sudaf/internal/expr"
+)
+
+// Stmt is a parsed SELECT statement.
+type Stmt struct {
+	Select  []SelectItem
+	From    []TableRef
+	Where   Pred // nil when absent
+	GroupBy []string
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+// SelectItem is one projection: an expression (possibly containing
+// aggregate or UDAF calls) with an optional alias.
+type SelectItem struct {
+	Expr  expr.Node
+	Alias string
+}
+
+// OutputName returns the column name for the projection.
+func (s SelectItem) OutputName(pos int) string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if v, ok := s.Expr.(*expr.Var); ok {
+		return v.Name
+	}
+	if c, ok := s.Expr.(*expr.Call); ok {
+		return c.Name + "_" + itoa(pos)
+	}
+	return "expr_" + itoa(pos)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// TableRef is a FROM entry: a base table or a subquery with an alias.
+type TableRef struct {
+	Name  string
+	Alias string
+	Sub   *Stmt // non-nil for derived tables
+}
+
+// RefName is how the table is addressed in the query.
+func (t TableRef) RefName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// Pred is a WHERE predicate tree.
+type Pred interface{ predNode() }
+
+// And is a conjunction.
+type And struct{ L, R Pred }
+
+// Or is a disjunction.
+type Or struct{ L, R Pred }
+
+// Cmp is a comparison between two operands.
+// Op is one of "=", "!=", "<", "<=", ">", ">=".
+type Cmp struct {
+	Op   string
+	L, R Operand
+}
+
+func (*And) predNode() {}
+func (*Or) predNode()  {}
+func (*Cmp) predNode() {}
+
+// Operand is a comparison side: a column reference or a literal.
+type Operand struct {
+	Col   string // column name (qualified names keep only the last part)
+	IsCol bool
+	Num   float64
+	IsNum bool
+	Str   string // string literal when !IsCol && !IsNum
+}
+
+// Conjuncts flattens a predicate into its top-level AND parts.
+func Conjuncts(p Pred) []Pred {
+	if p == nil {
+		return nil
+	}
+	if a, ok := p.(*And); ok {
+		return append(Conjuncts(a.L), Conjuncts(a.R)...)
+	}
+	return []Pred{p}
+}
+
+// PredColumns collects all column names referenced by a predicate.
+func PredColumns(p Pred, into map[string]bool) {
+	switch t := p.(type) {
+	case *And:
+		PredColumns(t.L, into)
+		PredColumns(t.R, into)
+	case *Or:
+		PredColumns(t.L, into)
+		PredColumns(t.R, into)
+	case *Cmp:
+		if t.L.IsCol {
+			into[t.L.Col] = true
+		}
+		if t.R.IsCol {
+			into[t.R.Col] = true
+		}
+	}
+}
+
+// PredString renders a predicate deterministically (for fingerprints).
+func PredString(p Pred) string {
+	switch t := p.(type) {
+	case nil:
+		return ""
+	case *And:
+		return "(" + PredString(t.L) + " AND " + PredString(t.R) + ")"
+	case *Or:
+		return "(" + PredString(t.L) + " OR " + PredString(t.R) + ")"
+	case *Cmp:
+		return operandString(t.L) + t.Op + operandString(t.R)
+	}
+	return "?"
+}
+
+func operandString(o Operand) string {
+	switch {
+	case o.IsCol:
+		return o.Col
+	case o.IsNum:
+		return expr.FormatFloat(o.Num)
+	default:
+		return "'" + o.Str + "'"
+	}
+}
+
+// baseName strips a table qualifier from a column reference.
+func baseName(s string) string {
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,623 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"sudaf/internal/expr"
+)
+
+// Token kinds for the SQL lexer.
+type tkind int
+
+const (
+	tEOF tkind = iota
+	tIdent
+	tNum
+	tStr
+	tOp     // arithmetic and comparison operators
+	tLParen // (
+	tRParen // )
+	tComma
+	tStar // bare * in count(*) or SELECT *
+)
+
+type tok struct {
+	kind tkind
+	text string
+	pos  int
+}
+
+func sqlLex(src string) ([]tok, error) {
+	var toks []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' ||
+				src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '+' || src[i] == '-') && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, tok{tNum, src[start:i], start})
+		case c == '\'':
+			i++
+			start := i
+			for i < len(src) && src[i] != '\'' {
+				i++
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("unterminated string at offset %d", start-1)
+			}
+			toks = append(toks, tok{tStr, src[start:i], start})
+			i++
+		case isSQLIdentStart(rune(c)):
+			start := i
+			for i < len(src) && isSQLIdentPart(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, tok{tIdent, src[start:i], start})
+		case c == '*':
+			toks = append(toks, tok{tStar, "*", i})
+			i++
+		case c == '(':
+			toks = append(toks, tok{tLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, tok{tRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, tok{tComma, ",", i})
+			i++
+		case c == ';':
+			i++ // statement terminator, ignored
+		case strings.IndexByte("+-/^", c) >= 0:
+			toks = append(toks, tok{tOp, string(c), i})
+			i++
+		case c == '=':
+			toks = append(toks, tok{tOp, "=", i})
+			i++
+		case c == '<':
+			if i+1 < len(src) && (src[i+1] == '=' || src[i+1] == '>') {
+				op := "<="
+				if src[i+1] == '>' {
+					op = "!="
+				}
+				toks = append(toks, tok{tOp, op, i})
+				i += 2
+			} else {
+				toks = append(toks, tok{tOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, tok{tOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, tok{tOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, tok{tOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("unexpected '!' at offset %d", i)
+			}
+		default:
+			return nil, fmt.Errorf("unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, tok{tEOF, "", len(src)})
+	return toks, nil
+}
+
+func isSQLIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isSQLIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type sqlParser struct {
+	toks []tok
+	i    int
+}
+
+// Parse parses a SELECT statement.
+func Parse(src string) (*Stmt, error) {
+	toks, err := sqlLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tEOF {
+		return nil, fmt.Errorf("unexpected trailing input %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) peek() tok { return p.toks[p.i] }
+
+func (p *sqlParser) next() tok {
+	t := p.toks[p.i]
+	if t.kind != tEOF {
+		p.i++
+	}
+	return t
+}
+
+// kw checks for a (case-insensitive) keyword without consuming.
+func (p *sqlParser) kw(word string) bool {
+	t := p.peek()
+	return t.kind == tIdent && strings.EqualFold(t.text, word)
+}
+
+func (p *sqlParser) eatKw(word string) bool {
+	if p.kw(word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKw(word string) error {
+	if !p.eatKw(word) {
+		return fmt.Errorf("expected %s at offset %d, found %q", strings.ToUpper(word), p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+var reservedKw = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"order": true, "limit": true, "and": true, "or": true, "as": true,
+	"join": true, "on": true, "asc": true, "desc": true,
+}
+
+func (p *sqlParser) parseSelect() (*Stmt, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if p.peek().kind == tComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	first, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = append(stmt.From, first)
+	for {
+		if p.peek().kind == tComma {
+			p.next()
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, ref)
+			continue
+		}
+		if p.eatKw("join") {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, ref)
+			if err := p.expectKw("on"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseCmp()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = andPred(stmt.Where, cond)
+			continue
+		}
+		break
+	}
+	if p.eatKw("where") {
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = andPred(stmt.Where, pred)
+	}
+	if p.eatKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			if t.kind != tIdent {
+				return nil, fmt.Errorf("expected column in GROUP BY at offset %d", t.pos)
+			}
+			p.next()
+			stmt.GroupBy = append(stmt.GroupBy, baseName(t.text))
+			if p.peek().kind == tComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.eatKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			if t.kind != tIdent {
+				return nil, fmt.Errorf("expected column in ORDER BY at offset %d", t.pos)
+			}
+			p.next()
+			item := OrderItem{Col: baseName(t.text)}
+			if p.eatKw("desc") {
+				item.Desc = true
+			} else {
+				p.eatKw("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.peek().kind == tComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.eatKw("limit") {
+		t := p.peek()
+		if t.kind != tNum {
+			return nil, fmt.Errorf("expected number after LIMIT at offset %d", t.pos)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("bad LIMIT %q: %v", t.text, err)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+// OrderItem is an ORDER BY entry.
+type OrderItem struct {
+	Col  string
+	Desc bool
+}
+
+func andPred(a, b Pred) Pred {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &And{L: a, R: b}
+}
+
+func (p *sqlParser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.eatKw("as") {
+		t := p.peek()
+		if t.kind != tIdent {
+			return item, fmt.Errorf("expected alias after AS at offset %d", t.pos)
+		}
+		p.next()
+		item.Alias = t.text
+		return item, nil
+	}
+	// Implicit alias: a bare identifier that is not a keyword.
+	if t := p.peek(); t.kind == tIdent && !reservedKw[strings.ToLower(t.text)] {
+		p.next()
+		item.Alias = t.text
+	}
+	return item, nil
+}
+
+func (p *sqlParser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.kind == tLParen {
+		p.next()
+		sub, err := p.parseSelect()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if p.peek().kind != tRParen {
+			return TableRef{}, fmt.Errorf("expected ) after subquery at offset %d", p.peek().pos)
+		}
+		p.next()
+		ref := TableRef{Sub: sub}
+		p.eatKw("as")
+		if a := p.peek(); a.kind == tIdent && !reservedKw[strings.ToLower(a.text)] {
+			p.next()
+			ref.Alias = a.text
+		} else {
+			return TableRef{}, fmt.Errorf("subquery requires an alias at offset %d", p.peek().pos)
+		}
+		return ref, nil
+	}
+	if t.kind != tIdent {
+		return TableRef{}, fmt.Errorf("expected table name at offset %d, found %q", t.pos, t.text)
+	}
+	p.next()
+	ref := TableRef{Name: t.text}
+	p.eatKw("as")
+	if a := p.peek(); a.kind == tIdent && !reservedKw[strings.ToLower(a.text)] {
+		p.next()
+		ref.Alias = a.text
+	}
+	return ref, nil
+}
+
+// ---- predicates ----
+
+func (p *sqlParser) parseOr() (Pred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseAnd() (Pred, error) {
+	left, err := p.parsePredAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("and") {
+		right, err := p.parsePredAtom()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parsePredAtom() (Pred, error) {
+	if p.peek().kind == tLParen {
+		p.next()
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tRParen {
+			return nil, fmt.Errorf("expected ) at offset %d", p.peek().pos)
+		}
+		p.next()
+		return pred, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *sqlParser) parseCmp() (Pred, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tOp || !isCmpOp(t.text) {
+		return nil, fmt.Errorf("expected comparison operator at offset %d, found %q", t.pos, t.text)
+	}
+	p.next()
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &Cmp{Op: t.text, L: l, R: r}, nil
+}
+
+func isCmpOp(s string) bool {
+	switch s {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) parseOperand() (Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tIdent:
+		p.next()
+		return Operand{Col: baseName(t.text), IsCol: true}, nil
+	case tNum:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad number %q: %v", t.text, err)
+		}
+		return Operand{Num: v, IsNum: true}, nil
+	case tStr:
+		p.next()
+		return Operand{Str: t.text}, nil
+	case tOp:
+		if t.text == "-" {
+			p.next()
+			n := p.peek()
+			if n.kind != tNum {
+				return Operand{}, fmt.Errorf("expected number after '-' at offset %d", n.pos)
+			}
+			p.next()
+			v, err := strconv.ParseFloat(n.text, 64)
+			if err != nil {
+				return Operand{}, fmt.Errorf("bad number %q: %v", n.text, err)
+			}
+			return Operand{Num: -v, IsNum: true}, nil
+		}
+	}
+	return Operand{}, fmt.Errorf("expected operand at offset %d, found %q", t.pos, t.text)
+}
+
+// ---- select expressions (reusing expr.Node) ----
+
+// parseExpr parses an arithmetic expression over columns, literals and
+// function calls (scalar, aggregate or UDAF — resolution happens in the
+// planner). count(*) and count() both parse to the count call.
+func (p *sqlParser) parseExpr() (expr.Node, error) {
+	return p.parseAddE()
+}
+
+func (p *sqlParser) parseAddE() (expr.Node, error) {
+	left, err := p.parseMulE()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tOp && (t.text == "+" || t.text == "-") {
+			p.next()
+			right, err := p.parseMulE()
+			if err != nil {
+				return nil, err
+			}
+			left = &expr.Bin{Op: t.text[0], L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *sqlParser) parseMulE() (expr.Node, error) {
+	left, err := p.parseUnaryE()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if (t.kind == tOp && t.text == "/") || t.kind == tStar {
+			p.next()
+			right, err := p.parseUnaryE()
+			if err != nil {
+				return nil, err
+			}
+			op := byte('*')
+			if t.text == "/" {
+				op = '/'
+			}
+			left = &expr.Bin{Op: op, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *sqlParser) parseUnaryE() (expr.Node, error) {
+	t := p.peek()
+	if t.kind == tOp && t.text == "-" {
+		p.next()
+		x, err := p.parseUnaryE()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Neg{X: x}, nil
+	}
+	return p.parsePowE()
+}
+
+func (p *sqlParser) parsePowE() (expr.Node, error) {
+	base, err := p.parsePrimaryE()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tOp && t.text == "^" {
+		p.next()
+		exp, err := p.parseUnaryE()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Bin{Op: '^', L: base, R: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *sqlParser) parsePrimaryE() (expr.Node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tNum:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %v", t.text, err)
+		}
+		return &expr.Num{Val: v}, nil
+	case tIdent:
+		p.next()
+		name := t.text
+		if p.peek().kind == tLParen {
+			p.next()
+			lower := strings.ToLower(name)
+			var args []expr.Node
+			if p.peek().kind == tStar {
+				// count(*)
+				p.next()
+			} else if p.peek().kind != tRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind == tComma {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if p.peek().kind != tRParen {
+				return nil, fmt.Errorf("expected ) at offset %d", p.peek().pos)
+			}
+			p.next()
+			return &expr.Call{Name: lower, Args: args}, nil
+		}
+		return &expr.Var{Name: baseName(name)}, nil
+	case tLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tRParen {
+			return nil, fmt.Errorf("expected ) at offset %d", p.peek().pos)
+		}
+		p.next()
+		return e, nil
+	}
+	return nil, fmt.Errorf("unexpected token %q at offset %d", t.text, t.pos)
+}

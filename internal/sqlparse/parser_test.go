@@ -1,0 +1,232 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"sudaf/internal/expr"
+)
+
+func parse(t *testing.T, src string) *Stmt {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := parse(t, "SELECT a, b FROM t")
+	if len(s.Select) != 2 || len(s.From) != 1 || s.From[0].Name != "t" {
+		t.Fatalf("bad stmt: %+v", s)
+	}
+	if s.Select[0].OutputName(0) != "a" {
+		t.Errorf("output name = %q", s.Select[0].OutputName(0))
+	}
+}
+
+func TestParseAggregatesAndUDAFs(t *testing.T) {
+	s := parse(t, "SELECT square_id, AVG(internet_traffic), qm(internet_traffic) FROM milan_data GROUP BY square_id")
+	if len(s.Select) != 3 {
+		t.Fatal("want 3 select items")
+	}
+	c, ok := s.Select[2].Expr.(*expr.Call)
+	if !ok || c.Name != "qm" || len(c.Args) != 1 {
+		t.Fatalf("UDAF call not parsed: %v", s.Select[2].Expr)
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0] != "square_id" {
+		t.Fatalf("group by: %v", s.GroupBy)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	s := parse(t, "SELECT count(*) FROM t")
+	c, ok := s.Select[0].Expr.(*expr.Call)
+	if !ok || c.Name != "count" || len(c.Args) != 0 {
+		t.Fatalf("count(*) mis-parsed: %v", s.Select[0].Expr)
+	}
+}
+
+func TestParsePaperQ1(t *testing.T) {
+	// The motivating example query of the paper (section 2).
+	q1 := `SELECT ss_item_sk, d_year, avg(ss_list_price),
+	       avg(ss_sales_price), theta1(ss_list_price, ss_sales_price)
+	FROM store_sales, store, date_dim
+	WHERE ss_sold_date_sk = d_date_sk and
+	      ss_store_sk = s_store_sk and s_state = 'TN'
+	GROUP BY ss_item_sk, d_year;`
+	s := parse(t, q1)
+	if len(s.From) != 3 {
+		t.Fatalf("FROM: %+v", s.From)
+	}
+	conj := Conjuncts(s.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts: %d", len(conj))
+	}
+	theta, ok := s.Select[4].Expr.(*expr.Call)
+	if !ok || theta.Name != "theta1" || len(theta.Args) != 2 {
+		t.Fatalf("theta1 call: %v", s.Select[4].Expr)
+	}
+	if len(s.GroupBy) != 2 {
+		t.Fatalf("group by: %v", s.GroupBy)
+	}
+}
+
+func TestParseQueryModel3(t *testing.T) {
+	// TPC-DS query 7 shape: multi-way join, OR predicate, ORDER BY, LIMIT.
+	q := `SELECT i_item_id, AVG(ss_quantity) agg1, AVG(ss_list_price) agg2
+	FROM store_sales, customer_demographics, date_dim, item, promotion
+	WHERE ss_sold_date_sk = d_date_sk and
+	      ss_item_sk = i_item_sk and
+	      ss_cdemo_sk = cd_demo_sk and
+	      ss_promo_sk = p_promo_sk and cd_gender = 'M'
+	      and cd_marital_status = 'S' and
+	      cd_education_status = 'College' and
+	      (p_channel_email = 'N' or p_channel_event = 'N')
+	      and d_year = 2000
+	GROUP BY i_item_id ORDER BY i_item_id LIMIT 100;`
+	s := parse(t, q)
+	if len(s.From) != 5 {
+		t.Fatalf("FROM: %d", len(s.From))
+	}
+	if s.Limit != 100 {
+		t.Fatalf("LIMIT = %d", s.Limit)
+	}
+	if len(s.OrderBy) != 1 || s.OrderBy[0].Col != "i_item_id" || s.OrderBy[0].Desc {
+		t.Fatalf("ORDER BY: %+v", s.OrderBy)
+	}
+	if s.Select[1].Alias != "agg1" {
+		t.Fatalf("implicit alias: %+v", s.Select[1])
+	}
+	// The OR must survive as a disjunction inside the conjunct list.
+	foundOr := false
+	for _, c := range Conjuncts(s.Where) {
+		if _, ok := c.(*Or); ok {
+			foundOr = true
+		}
+	}
+	if !foundOr {
+		t.Error("OR predicate lost")
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	// RQ1 shape: partial aggregates in a derived table.
+	q := `SELECT ss_item_sk, d_year, s2/s1 avg_list_price
+	FROM (SELECT ss_item_sk, d_year, count(*) s1, sum(ss_list_price) s2
+	      FROM store_sales, store
+	      WHERE ss_store_sk = s_store_sk and s_state = 'TN'
+	      GROUP BY ss_item_sk, d_year) TEMP`
+	s := parse(t, q)
+	if len(s.From) != 1 || s.From[0].Sub == nil || s.From[0].Alias != "TEMP" {
+		t.Fatalf("subquery: %+v", s.From[0])
+	}
+	inner := s.From[0].Sub
+	if len(inner.Select) != 4 || len(inner.GroupBy) != 2 {
+		t.Fatalf("inner: %+v", inner)
+	}
+}
+
+func TestParseJoinOn(t *testing.T) {
+	s := parse(t, "SELECT a FROM t JOIN u ON t_id = u_id WHERE v > 3")
+	if len(s.From) != 2 {
+		t.Fatalf("FROM: %+v", s.From)
+	}
+	conj := Conjuncts(s.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts: %d", len(conj))
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	s := parse(t, "SELECT a FROM t WHERE x >= 1 AND y <= 2 AND z != 3 AND w <> 4 AND v < -5")
+	conj := Conjuncts(s.Where)
+	if len(conj) != 5 {
+		t.Fatalf("conjuncts: %d", len(conj))
+	}
+	ops := map[string]bool{}
+	for _, c := range conj {
+		ops[c.(*Cmp).Op] = true
+	}
+	for _, want := range []string{">=", "<=", "!=", "<"} {
+		if !ops[want] {
+			t.Errorf("missing op %s", want)
+		}
+	}
+	last := conj[4].(*Cmp)
+	if !last.R.IsNum || last.R.Num != -5 {
+		t.Errorf("negative literal: %+v", last.R)
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	s := parse(t, "SELECT t.a FROM t WHERE t.b = 1 GROUP BY t.a")
+	v, ok := s.Select[0].Expr.(*expr.Var)
+	if !ok || v.Name != "a" {
+		t.Fatalf("qualified select: %v", s.Select[0].Expr)
+	}
+	if s.GroupBy[0] != "a" {
+		t.Fatalf("qualified group by: %v", s.GroupBy)
+	}
+	cmp := Conjuncts(s.Where)[0].(*Cmp)
+	if cmp.L.Col != "b" {
+		t.Fatalf("qualified where: %+v", cmp)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE x",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM (SELECT b FROM u)", // subquery without alias
+		"SELECT a FROM t WHERE x = 'unterminated",
+		"SELECT a FROM t extra garbage ~",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestPredString(t *testing.T) {
+	s := parse(t, "SELECT a FROM t WHERE x = 1 AND (y = 'b' OR z > 2)")
+	str := PredString(s.Where)
+	if !strings.Contains(str, "OR") || !strings.Contains(str, "'b'") {
+		t.Errorf("PredString = %q", str)
+	}
+	cols := map[string]bool{}
+	PredColumns(s.Where, cols)
+	if !cols["x"] || !cols["y"] || !cols["z"] {
+		t.Errorf("PredColumns = %v", cols)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s := parse(t, "SELECT a -- trailing comment\nFROM t")
+	if len(s.Select) != 1 || s.From[0].Name != "t" {
+		t.Fatal("comment handling broken")
+	}
+}
+
+func TestParseArithmeticProjection(t *testing.T) {
+	// RQ1's terminating projection shape.
+	s := parse(t, "SELECT (s1*s5-s4*s2)/(s1*s3-s2^2) theta1 FROM temp")
+	if s.Select[0].Alias != "theta1" {
+		t.Fatalf("alias: %+v", s.Select[0])
+	}
+	// Expression must evaluate correctly.
+	env := expr.MapEnv{"s1": 2, "s2": 3, "s3": 4, "s4": 5, "s5": 6}
+	got := expr.MustEval(s.Select[0].Expr, env)
+	want := (2.0*6 - 5*3) / (2.0*4 - 9)
+	if got != want {
+		t.Errorf("eval = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,373 @@
+// Package storage implements the columnar in-memory table substrate for
+// the SUDAF engine: typed columns (float64, int64, dictionary-encoded
+// strings), row builders, selection vectors, and CSV import/export.
+//
+// Strings are dictionary-encoded at append time so that group-by keys and
+// equality predicates operate on integer codes, which keeps the hash
+// aggregation paths monomorphic and fast.
+package storage
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is a column type.
+type Kind int
+
+const (
+	// KindFloat is a float64 measure column.
+	KindFloat Kind = iota
+	// KindInt is an int64 key or attribute column.
+	KindInt
+	// KindString is a dictionary-encoded string column.
+	KindString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFloat:
+		return "float"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Column is a typed column vector. Exactly one of F, I, Codes is
+// populated, per Kind.
+type Column struct {
+	Name string
+	Kind Kind
+
+	F     []float64
+	I     []int64
+	Codes []int32
+	dict  []string
+	index map[string]int32
+
+	statsOnce        sync.Once
+	statMin, statMax float64
+}
+
+// NewColumn creates an empty column.
+func NewColumn(name string, kind Kind) *Column {
+	c := &Column{Name: name, Kind: kind}
+	if kind == KindString {
+		c.index = map[string]int32{}
+	}
+	return c
+}
+
+// Len returns the number of values.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case KindFloat:
+		return len(c.F)
+	case KindInt:
+		return len(c.I)
+	default:
+		return len(c.Codes)
+	}
+}
+
+// AppendFloat appends to a float column.
+func (c *Column) AppendFloat(v float64) { c.F = append(c.F, v) }
+
+// AppendInt appends to an int column.
+func (c *Column) AppendInt(v int64) { c.I = append(c.I, v) }
+
+// AppendString appends to a string column, interning through the dict.
+func (c *Column) AppendString(s string) {
+	code, ok := c.index[s]
+	if !ok {
+		code = int32(len(c.dict))
+		c.dict = append(c.dict, s)
+		c.index[s] = code
+	}
+	c.Codes = append(c.Codes, code)
+}
+
+// Code returns the dictionary code for s, or -1 if s never appears.
+func (c *Column) Code(s string) int32 {
+	if code, ok := c.index[s]; ok {
+		return code
+	}
+	return -1
+}
+
+// StringAt returns the decoded string at row i.
+func (c *Column) StringAt(i int) string { return c.dict[c.Codes[i]] }
+
+// DictString decodes a dictionary code directly.
+func (c *Column) DictString(code int32) string { return c.dict[code] }
+
+// DictSize returns the number of distinct strings.
+func (c *Column) DictSize() int { return len(c.dict) }
+
+// AsFloat returns the value at row i coerced to float64 (string columns
+// return their code; callers should not aggregate over strings).
+func (c *Column) AsFloat(i int) float64 {
+	switch c.Kind {
+	case KindFloat:
+		return c.F[i]
+	case KindInt:
+		return float64(c.I[i])
+	default:
+		return float64(c.Codes[i])
+	}
+}
+
+// AsInt returns the value at row i as an int64 (floats truncate; strings
+// return the dictionary code).
+func (c *Column) AsInt(i int) int64 {
+	switch c.Kind {
+	case KindFloat:
+		return int64(c.F[i])
+	case KindInt:
+		return c.I[i]
+	default:
+		return int64(c.Codes[i])
+	}
+}
+
+// ValueString renders the value at row i for output.
+func (c *Column) ValueString(i int) string {
+	switch c.Kind {
+	case KindFloat:
+		return formatFloat(c.F[i])
+	case KindInt:
+		return strconv.FormatInt(c.I[i], 10)
+	default:
+		return c.StringAt(i)
+	}
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Renamed returns a view of the column under a new name, sharing the
+// underlying data.
+func (c *Column) Renamed(name string) *Column {
+	n := NewColumn(name, c.Kind)
+	n.F, n.I, n.Codes, n.dict = c.F, c.I, c.Codes, c.dict
+	if c.index != nil {
+		n.index = c.index
+	}
+	return n
+}
+
+// Stats returns the cached (min, max) of a numeric column, computing it
+// on first use. String columns return (0, 0).
+func (c *Column) Stats() (min, max float64) {
+	c.statsOnce.Do(func() {
+		c.statMin, c.statMax = math.Inf(1), math.Inf(-1)
+		switch c.Kind {
+		case KindFloat:
+			for _, v := range c.F {
+				if v < c.statMin {
+					c.statMin = v
+				}
+				if v > c.statMax {
+					c.statMax = v
+				}
+			}
+		case KindInt:
+			for _, v := range c.I {
+				fv := float64(v)
+				if fv < c.statMin {
+					c.statMin = fv
+				}
+				if fv > c.statMax {
+					c.statMax = fv
+				}
+			}
+		default:
+			c.statMin, c.statMax = 0, 0
+		}
+	})
+	return c.statMin, c.statMax
+}
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	Name   string
+	Cols   []*Column
+	byName map[string]int
+}
+
+// NewTable creates a table with the given columns (which may be empty).
+func NewTable(name string, cols ...*Column) *Table {
+	t := &Table{Name: name, byName: map[string]int{}}
+	for _, c := range cols {
+		t.AddColumn(c)
+	}
+	return t
+}
+
+// AddColumn registers a column; duplicate names panic (schema bug).
+func (t *Table) AddColumn(c *Column) {
+	if _, dup := t.byName[c.Name]; dup {
+		panic(fmt.Sprintf("table %s: duplicate column %s", t.Name, c.Name))
+	}
+	t.byName[c.Name] = len(t.Cols)
+	t.Cols = append(t.Cols, c)
+}
+
+// Col returns the named column, or nil.
+func (t *Table) Col(name string) *Column {
+	if i, ok := t.byName[name]; ok {
+		return t.Cols[i]
+	}
+	return nil
+}
+
+// HasColumn reports whether the table has the named column.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// NumRows returns the row count (0 for a table with no columns).
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// ColumnNames returns the column names in schema order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Validate checks all columns have equal length.
+func (t *Table) Validate() error {
+	n := t.NumRows()
+	for _, c := range t.Cols {
+		if c.Len() != n {
+			return fmt.Errorf("table %s: column %s has %d rows, want %d", t.Name, c.Name, c.Len(), n)
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table with a typed header (name:kind per field).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<20))
+	header := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		header[i] = c.Name + ":" + c.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(t.Cols))
+	for i := 0; i < t.NumRows(); i++ {
+		for j, c := range t.Cols {
+			row[j] = c.ValueString(i)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table written by WriteCSV.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	t := NewTable(name)
+	for _, h := range header {
+		parts := strings.SplitN(h, ":", 2)
+		kind := KindFloat
+		if len(parts) == 2 {
+			switch parts[1] {
+			case "int":
+				kind = KindInt
+			case "string":
+				kind = KindString
+			case "float":
+				kind = KindFloat
+			default:
+				return nil, fmt.Errorf("unknown column kind %q", parts[1])
+			}
+		}
+		t.AddColumn(NewColumn(parts[0], kind))
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for j, c := range t.Cols {
+			switch c.Kind {
+			case KindFloat:
+				v, err := strconv.ParseFloat(rec[j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("column %s: %w", c.Name, err)
+				}
+				c.AppendFloat(v)
+			case KindInt:
+				v, err := strconv.ParseInt(rec[j], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("column %s: %w", c.Name, err)
+				}
+				c.AppendInt(v)
+			default:
+				c.AppendString(rec[j])
+			}
+		}
+	}
+	return t, t.Validate()
+}
+
+// SaveCSVFile writes the table to a file path.
+func (t *Table) SaveCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSVFile reads a table from a file path; the table is named after
+// the file's base name sans extension unless name is non-empty.
+func LoadCSVFile(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}

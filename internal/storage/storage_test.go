@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable("t",
+		NewColumn("id", KindInt),
+		NewColumn("v", KindFloat),
+		NewColumn("tag", KindString))
+	for i := 0; i < 10; i++ {
+		tbl.Col("id").AppendInt(int64(i))
+		tbl.Col("v").AppendFloat(float64(i) * 1.5)
+		tbl.Col("tag").AppendString([]string{"a", "b", "c"}[i%3])
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestColumnBasics(t *testing.T) {
+	tbl := sample(t)
+	if tbl.NumRows() != 10 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	tag := tbl.Col("tag")
+	if tag.DictSize() != 3 {
+		t.Errorf("dict size = %d", tag.DictSize())
+	}
+	if tag.StringAt(4) != "b" {
+		t.Errorf("StringAt(4) = %q", tag.StringAt(4))
+	}
+	if tag.Code("c") != 2 || tag.Code("zzz") != -1 {
+		t.Errorf("codes: %d %d", tag.Code("c"), tag.Code("zzz"))
+	}
+	if tag.DictString(0) != "a" {
+		t.Errorf("DictString(0) = %q", tag.DictString(0))
+	}
+	if tbl.Col("v").AsFloat(2) != 3.0 {
+		t.Errorf("AsFloat = %v", tbl.Col("v").AsFloat(2))
+	}
+	if tbl.Col("id").AsInt(3) != 3 {
+		t.Errorf("AsInt = %v", tbl.Col("id").AsInt(3))
+	}
+	if tbl.Col("nope") != nil || tbl.HasColumn("nope") {
+		t.Error("missing column should be nil")
+	}
+	names := tbl.ColumnNames()
+	if strings.Join(names, ",") != "id,v,tag" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tbl := sample(t)
+	min, max := tbl.Col("v").Stats()
+	if min != 0 || max != 13.5 {
+		t.Errorf("stats = %v %v", min, max)
+	}
+	smin, smax := tbl.Col("tag").Stats()
+	if smin != 0 || smax != 0 {
+		t.Errorf("string stats = %v %v", smin, smax)
+	}
+	// Cached: second call returns the same values.
+	min2, _ := tbl.Col("v").Stats()
+	if min2 != min {
+		t.Error("stats not cached")
+	}
+}
+
+func TestRenamed(t *testing.T) {
+	tbl := sample(t)
+	r := tbl.Col("tag").Renamed("alias")
+	if r.Name != "alias" || r.StringAt(0) != "a" || r.Len() != 10 {
+		t.Errorf("renamed: %+v", r)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := sample(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("back", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tbl.NumRows() {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+	for i := 0; i < 10; i++ {
+		if back.Col("id").I[i] != tbl.Col("id").I[i] {
+			t.Fatalf("id row %d", i)
+		}
+		if math.Abs(back.Col("v").F[i]-tbl.Col("v").F[i]) > 1e-9 {
+			t.Fatalf("v row %d: %v vs %v", i, back.Col("v").F[i], tbl.Col("v").F[i])
+		}
+		if back.Col("tag").StringAt(i) != tbl.Col("tag").StringAt(i) {
+			t.Fatalf("tag row %d", i)
+		}
+	}
+	// Kinds preserved through the typed header.
+	if back.Col("id").Kind != KindInt || back.Col("tag").Kind != KindString {
+		t.Error("kinds lost")
+	}
+}
+
+func TestCSVFiles(t *testing.T) {
+	tbl := sample(t)
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := tbl.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSVFile("t2", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "t2" || back.NumRows() != 10 {
+		t.Fatalf("%s %d", back.Name, back.NumRows())
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("a:int\nnotanint\n")); err == nil {
+		t.Error("bad int should fail")
+	}
+	if _, err := ReadCSV("x", strings.NewReader("a:weird\n1\n")); err == nil {
+		t.Error("bad kind should fail")
+	}
+	if _, err := LoadCSVFile("x", "/nonexistent/file.csv"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestValidateMismatch(t *testing.T) {
+	tbl := NewTable("bad", NewColumn("a", KindInt), NewColumn("b", KindInt))
+	tbl.Col("a").AppendInt(1)
+	if err := tbl.Validate(); err == nil {
+		t.Error("ragged table should fail validation")
+	}
+}
+
+func TestDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate column")
+		}
+	}()
+	NewTable("d", NewColumn("a", KindInt), NewColumn("a", KindFloat))
+}
+
+func TestValueString(t *testing.T) {
+	tbl := sample(t)
+	if tbl.Col("id").ValueString(3) != "3" {
+		t.Errorf("int: %q", tbl.Col("id").ValueString(3))
+	}
+	if tbl.Col("tag").ValueString(0) != "a" {
+		t.Errorf("string: %q", tbl.Col("tag").ValueString(0))
+	}
+	if tbl.Col("v").ValueString(1) != "1.5" {
+		t.Errorf("float: %q", tbl.Col("v").ValueString(1))
+	}
+}

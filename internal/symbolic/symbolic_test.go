@@ -1,0 +1,267 @@
+package symbolic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sudaf/internal/canonical"
+	"sudaf/internal/scalar"
+	"sudaf/internal/sharing"
+)
+
+func TestSpaceSizeMatchesPaperBound(t *testing.T) {
+	// |saggs_l| ≤ 2(4^{l+1}-1)/3, with equality for our four families.
+	for l := 0; l <= 2; l++ {
+		sp := NewSpace(l)
+		want := SpaceSizeBound(l)
+		if len(sp.States) != want {
+			t.Errorf("l=%d: %d states, want %d", l, len(sp.States), want)
+		}
+	}
+	// The paper's l=2 space has 42 states.
+	if SpaceSizeBound(2) != 42 {
+		t.Errorf("bound(2) = %d, want 42", SpaceSizeBound(2))
+	}
+}
+
+func TestStrongEdgeSumLinearProdExp(t *testing.T) {
+	// Figure 4: Σp·x shares Πp^x strongly (and vice versa).
+	sp := NewSpace(1)
+	var sumLin, prodExp *State
+	for _, s := range sp.States {
+		if s.Sig == "sum,linear" {
+			sumLin = s
+		}
+		if s.Sig == "prod,exp" {
+			prodExp = s
+		}
+	}
+	if sumLin == nil || prodExp == nil {
+		t.Fatal("missing expected nodes")
+	}
+	e, ok := sp.EdgeBetween(sumLin.ID, prodExp.ID)
+	if !ok || !e.Strong() {
+		t.Fatalf("Σp·x → Πp^x should be a strong edge, got %+v ok=%v", e, ok)
+	}
+	back, ok := sp.EdgeBetween(prodExp.ID, sumLin.ID)
+	if !ok || !back.Strong() {
+		t.Fatalf("Πp^x → Σp·x should be a strong edge")
+	}
+	// They are in the same equivalence class as Σx.
+	if sp.Rep(sumLin.ID) != sp.Rep(prodExp.ID) {
+		t.Error("Σp·x and Πp^x should share an equivalence class")
+	}
+}
+
+func TestSumXEquivalenceClass(t *testing.T) {
+	// Figure 4 (which shows an excerpt of l=2) puts Σx, Σp·x, Πp^x and
+	// Πp1^(p2·x) in [Σx]. Over the full l=2 space the class additionally
+	// contains the redundant length-2 spellings of the same families:
+	// Σp2·(p1·x), Σlog_p2(p1^x) and Π(p1^x)^p2 — seven members total, all
+	// denoting {Σc·x | c≠0} ∪ {Πc^x | c>0,≠1} instances.
+	sp := NewSpace(2)
+	var sumX *State
+	for _, s := range sp.States {
+		if s.Sig == "sum" {
+			sumX = s
+		}
+	}
+	if sumX == nil {
+		t.Fatal("Σx node missing")
+	}
+	class := sp.Class(sumX.ID)
+	var names []string
+	for _, id := range class {
+		names = append(names, sp.States[id].Expr())
+	}
+	if len(class) != 7 {
+		t.Fatalf("[Σx] has %d members %v, want 7", len(class), names)
+	}
+	wantSigs := map[string]bool{
+		"sum": true, "sum,linear": true, "sum,linear,linear": true,
+		"sum,exp,log": true, "prod,exp": true, "prod,linear,exp": true,
+		"prod,exp,power": true,
+	}
+	for _, id := range class {
+		if !wantSigs[sp.States[id].Sig] {
+			t.Errorf("unexpected class member %s (%s)", sp.States[id].Expr(), sp.States[id].Sig)
+		}
+	}
+	// Σx must be the representative (shortest chain).
+	if sp.Rep(sumX.ID).ID != sumX.ID {
+		t.Errorf("representative of [Σx] is %s", sp.Rep(sumX.ID).Expr())
+	}
+	// Figure 4's excerpt members must all be present.
+	for _, sig := range []string{"sum,linear", "prod,exp", "prod,linear,exp"} {
+		found := false
+		for _, id := range class {
+			if sp.States[id].Sig == sig {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("class [Σx] missing %s", sig)
+		}
+	}
+}
+
+func TestWeakEdgePowerCondition(t *testing.T) {
+	// Σx^p shares Σp2·x^p1 iff p = p1 (weak edge).
+	sp := NewSpace(2)
+	var from, to *State
+	for _, s := range sp.States {
+		if s.Sig == "sum,power" {
+			from = s
+		}
+		if s.Sig == "sum,power,linear" {
+			to = s
+		}
+	}
+	if from == nil || to == nil {
+		t.Fatal("missing nodes")
+	}
+	e, ok := sp.EdgeBetween(from.ID, to.ID)
+	if !ok {
+		t.Fatal("expected weak edge Σx^p → Σp2·x^p1")
+	}
+	if e.Strong() {
+		t.Error("edge should carry conditions")
+	}
+}
+
+func TestShareViaConcreteStates(t *testing.T) {
+	sp := NewSpace(2)
+	// Σ ln x (runtime shape sum,log) shares Π x: r = ln.
+	r, ok := sp.ShareVia(
+		canonical.OpSum, scalar.NewChain(scalar.LogP(scalar.E)),
+		canonical.OpProd, scalar.IdentityChain())
+	if !ok {
+		t.Fatal("Σln x should share Πx via the space")
+	}
+	if got := r(math.E * math.E); math.Abs(got-2) > 1e-9 {
+		t.Errorf("r(e²) = %v, want 2", got)
+	}
+	// Σ4x² vs Σx² — same node (sum,power,linear vs sum,power): via edge.
+	r2, ok := sp.ShareVia(
+		canonical.OpSum, scalar.NewChain(scalar.PowerP(2), scalar.Linear(4)),
+		canonical.OpProd, scalar.IdentityChain())
+	if ok {
+		_ = r2
+		t.Error("Σ4x² must not share Πx")
+	}
+	// Weak edge condition check: Σx³ shares Σ5x³ but not Σ5x².
+	r3, ok := sp.ShareVia(
+		canonical.OpSum, scalar.NewChain(scalar.PowerP(3)),
+		canonical.OpSum, scalar.NewChain(scalar.PowerP(3), scalar.Linear(5)))
+	if !ok {
+		t.Fatal("Σx³ should share Σ5x³")
+	}
+	if got := r3(10); math.Abs(got-2) > 1e-9 {
+		t.Errorf("r(10) = %v, want 2", got)
+	}
+	if _, ok := sp.ShareVia(
+		canonical.OpSum, scalar.NewChain(scalar.PowerP(3)),
+		canonical.OpSum, scalar.NewChain(scalar.PowerP(2), scalar.Linear(5))); ok {
+		t.Error("Σx³ must not share Σ5x² (condition p=p1 fails)")
+	}
+}
+
+// TestSpaceAgreesWithDirectDecision cross-validates the precomputed
+// digraph against the direct decision procedure on random concrete
+// instantiations — the space is an index, not a different algorithm.
+func TestSpaceAgreesWithDirectDecision(t *testing.T) {
+	sp := NewSpace(2)
+	rng := rand.New(rand.NewSource(99))
+	coefPool := []float64{0.5, 2, 3, math.E, 10}
+	mk := func(s *State) (scalar.Chain, bool) {
+		prims := make([]scalar.Prim, len(s.F.Prims))
+		for i, p := range s.F.Prims {
+			c := coefPool[rng.Intn(len(coefPool))]
+			prims[i] = scalar.Prim{Kind: p.Kind, A: scalar.Num(c)}
+		}
+		return scalar.Chain{Prims: prims}, true
+	}
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		s1 := sp.States[rng.Intn(len(sp.States))]
+		s2 := sp.States[rng.Intn(len(sp.States))]
+		if s1.ID == s2.ID {
+			continue
+		}
+		f1, _ := mk(s1)
+		f2, _ := mk(s2)
+		rSpace, okSpace := sp.ShareVia(s1.Op, f1, s2.Op, f2)
+		d := sharing.Decide(s1.Op, f1, s2.Op, f2, true)
+		okDirect := d.OK
+		if okDirect {
+			for _, c := range d.Conds {
+				v, err := scalar.CEval(c.C, nil)
+				if err != nil || math.Abs(v-c.Want) > 1e-9 {
+					okDirect = false
+				}
+			}
+		}
+		// The space is sound w.r.t. the direct procedure but deliberately
+		// incomplete: an edge dropped by the ∀∃ semantics (condition on
+		// source parameters only) can still hold for special concrete
+		// instances (e.g. Πc·x with c=1), which the direct procedure
+		// accepts. space=true ⇒ direct=true must always hold.
+		if okSpace && !okDirect {
+			t.Fatalf("space unsound on %s vs %s (f1=%s f2=%s): space=true direct=false",
+				s1.Expr(), s2.Expr(), f1, f2)
+		}
+		if okSpace && okDirect {
+			// Rewritten values must agree at a sample point.
+			x := 0.5 + rng.Float64()*3
+			direct, err := d.R.EvalWith(x, nil)
+			if err == nil && !math.IsNaN(direct) {
+				via := rSpace(x)
+				if math.Abs(via-direct) > 1e-6*(1+math.Abs(direct)) {
+					t.Fatalf("rewriting mismatch on %s vs %s: %v vs %v",
+						s1.Expr(), s2.Expr(), via, direct)
+				}
+			}
+			checked++
+		}
+	}
+	if checked < 5 {
+		t.Errorf("too few positive cross-checks: %d", checked)
+	}
+}
+
+func TestMatchUnknownShape(t *testing.T) {
+	sp := NewSpace(1)
+	// Length-3 chain has no node in saggs_1.
+	longChain := scalar.NewChain(scalar.PowerP(2), scalar.LogP(scalar.E), scalar.Linear(3))
+	if _, _, ok := sp.Match(canonical.OpSum, longChain, "a"); ok {
+		t.Error("length-3 chain should not match saggs_1")
+	}
+}
+
+func TestDumpMentionsClasses(t *testing.T) {
+	sp := NewSpace(1)
+	d := sp.Dump()
+	if len(d) == 0 || sp.NumClasses() == 0 || sp.NumEdges() == 0 {
+		t.Errorf("dump/classes/edges empty: %d classes, %d edges", sp.NumClasses(), sp.NumEdges())
+	}
+}
+
+func BenchmarkNewSpaceL2(b *testing.B) {
+	// The paper reports 110 ms to precompute saggs_2 sharing relationships.
+	for i := 0; i < b.N; i++ {
+		NewSpace(2)
+	}
+}
+
+func BenchmarkShareViaLookup(b *testing.B) {
+	sp := NewSpace(2)
+	f1 := scalar.NewChain(scalar.LogP(scalar.E))
+	f2 := scalar.IdentityChain()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := sp.ShareVia(canonical.OpSum, f1, canonical.OpProd, f2); !ok {
+			b.Fatal("share lost")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package sudaf is a Go implementation of SUDAF — "Sharing Computations
+// for User-Defined Aggregate Functions" (Zhang & Toumani, EDBT 2020).
+//
+// SUDAF lets users define aggregate functions declaratively, as
+// mathematical expressions over sum/prod/count/min/max and scalar
+// primitives, instead of hand-coding initialize/update/merge/evaluate
+// routines:
+//
+//	eng := sudaf.Open(sudaf.Options{})
+//	eng.DefineUDAF("qm", []string{"x"}, "sqrt(sum(x^2)/count())")
+//	res, _ := eng.Query("SELECT region, qm(price) FROM sales GROUP BY region", sudaf.Share)
+//
+// Each UDAF is canonicalized into a well-formed aggregation (F, ⊕, T):
+// per-tuple scalar translations, commutative/associative merges, and a
+// terminating scalar function. The engine then:
+//
+//   - rewrites UDAFs into built-in aggregation-state loops (fast even
+//     when the baseline would interpret a hardcoded UDAF per tuple);
+//   - caches aggregation states per data fingerprint and reuses them
+//     across *different* UDAFs whenever a scalar rewriting r with
+//     s' = r∘s exists (Theorem 4.1: decided via precomputed symbolic
+//     sharing spaces, verified numerically);
+//   - rolls up materialized state views to answer coarser-grained
+//     queries (classic aggregate-view rewriting over sum/count states).
+//
+// The bundled engine is a columnar in-memory SQL executor with hash
+// joins and partitioned parallel aggregation; Baseline mode reproduces
+// the hardcoded-UDAF systems the paper compares against.
+package sudaf
+
+import (
+	"sudaf/internal/cache"
+	"sudaf/internal/canonical"
+	"sudaf/internal/core"
+	"sudaf/internal/storage"
+	"sudaf/internal/symbolic"
+)
+
+// Mode selects how aggregates execute; see the package comment.
+type Mode = core.Mode
+
+// Execution modes.
+const (
+	// Baseline models PostgreSQL/Spark SQL: built-ins run native, UDAFs
+	// run as hardcoded per-tuple interpreted accumulators.
+	Baseline = core.ModeBaseline
+	// Rewrite is SUDAF without sharing: aggregates decompose into
+	// compiled aggregation-state loops (the paper's RQ1/RQ2 rewriting).
+	Rewrite = core.ModeRewrite
+	// Share adds the dynamic aggregation-state cache with Theorem 4.1
+	// cross-UDAF sharing.
+	Share = core.ModeShare
+)
+
+// Options configures an engine.
+type Options = core.Options
+
+// Result is a query result; Table holds the output columns.
+type Result = core.Result
+
+// CacheStats reports cache activity (exact, shared and sign-split hits).
+type CacheStats = cache.Stats
+
+// Storage re-exports, so applications can build and load tables without
+// importing internal packages.
+type (
+	// Table is a named columnar table.
+	Table = storage.Table
+	// Column is a typed column vector.
+	Column = storage.Column
+	// ColumnKind is a column type.
+	ColumnKind = storage.Kind
+)
+
+// Column kinds.
+const (
+	Float  = storage.KindFloat
+	Int    = storage.KindInt
+	String = storage.KindString
+)
+
+// NewTable creates a table.
+func NewTable(name string, cols ...*Column) *Table { return storage.NewTable(name, cols...) }
+
+// NewColumn creates a column.
+func NewColumn(name string, kind ColumnKind) *Column { return storage.NewColumn(name, kind) }
+
+// LoadCSV reads a table from a CSV file written by Table.SaveCSVFile
+// (typed header "name:kind" per field).
+func LoadCSV(name, path string) (*Table, error) { return storage.LoadCSVFile(name, path) }
+
+// Engine is a SUDAF instance: a catalog of tables, a UDAF registry, the
+// state cache and the execution engine.
+type Engine struct {
+	s *core.Session
+}
+
+// Open creates an engine. The zero Options give full parallelism, a
+// 256 MiB cache and the l=2 symbolic space.
+func Open(opts Options) *Engine {
+	return &Engine{s: core.NewSession(opts)}
+}
+
+// Session exposes the underlying session for advanced callers (the
+// benchmark harness uses it).
+func (e *Engine) Session() *core.Session { return e.s }
+
+// Register adds a table to the catalog.
+func (e *Engine) Register(t *Table) error { return e.s.Register(t) }
+
+// DefineUDAF registers a user-defined aggregate from its mathematical
+// expression, e.g. DefineUDAF("gm", []string{"x"}, "prod(x)^(1/count())").
+// The library pre-registers qm, cm, gm, hm, apm, logsumexp, theta0/1,
+// covariance, correlation, skewness, kurtosis and moment-sketch
+// quantiles (approx_median, approx_first_quantile, approx_third_quantile).
+func (e *Engine) DefineUDAF(name string, params []string, body string) error {
+	return e.s.DefineUDAF(name, params, body)
+}
+
+// DefineSketchUDAF registers a quantile UDAF backed by a moment sketch
+// of order k with a hardcoded max-entropy terminating function.
+func (e *Engine) DefineSketchUDAF(name string, k int, q float64) error {
+	return e.s.DefineSketchUDAF(name, k, q)
+}
+
+// Explain returns the canonical form (F, ⊕, T) derived for a UDAF.
+func (e *Engine) Explain(name string) (string, bool) {
+	f, ok := e.s.UDAF(name)
+	if !ok {
+		return "", false
+	}
+	return f.String(), true
+}
+
+// UDAFNames lists registered UDAFs.
+func (e *Engine) UDAFNames() []string { return e.s.UDAFNames() }
+
+// Query runs a SELECT statement in the given mode.
+func (e *Engine) Query(sql string, mode Mode) (*Result, error) {
+	return e.s.Query(sql, mode)
+}
+
+// RewriteSQL renders the SUDAF rewriting of a query as SQL text — the
+// partial-aggregate derived-table form (RQ1/RQ2 in the paper) that SUDAF
+// would send to an underlying system.
+func (e *Engine) RewriteSQL(sql string) (string, error) { return e.s.RewriteSQL(sql) }
+
+// Materialize creates a materialized state view usable for roll-up
+// rewriting (and seeds the state cache).
+func (e *Engine) Materialize(name, sql string) error { return e.s.Materialize(name, sql) }
+
+// DropView removes a materialized view.
+func (e *Engine) DropView(name string) { e.s.DropView(name) }
+
+// CacheStats returns cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.s.CacheStats() }
+
+// ResetCacheStats zeroes cache counters.
+func (e *Engine) ResetCacheStats() { e.s.ResetCacheStats() }
+
+// ClearCache drops all cached aggregation states.
+func (e *Engine) ClearCache() { e.s.ClearCache() }
+
+// EnableViews toggles aggregate-view rewriting.
+func (e *Engine) EnableViews(on bool) { e.s.EnableViewRewriting = on }
+
+// SymbolicSpaceDump renders the precomputed symbolic sharing space
+// (states, edges, equivalence classes — Figures 4/5 of the paper).
+func (e *Engine) SymbolicSpaceDump() string { return e.s.Space().Dump() }
+
+// Internal type re-exports for tooling.
+type (
+	// Form is a UDAF's canonical form.
+	Form = canonical.Form
+	// SymbolicSpace is the precomputed sharing space.
+	SymbolicSpace = symbolic.Space
+)

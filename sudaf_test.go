@@ -1,0 +1,152 @@
+package sudaf_test
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sudaf"
+)
+
+// demoEngine builds a small engine with one table.
+func demoEngine(t *testing.T) *sudaf.Engine {
+	t.Helper()
+	eng := sudaf.Open(sudaf.Options{Workers: 2})
+	rng := rand.New(rand.NewSource(5))
+	tbl := sudaf.NewTable("sales",
+		sudaf.NewColumn("region", sudaf.Int),
+		sudaf.NewColumn("price", sudaf.Float))
+	for i := 0; i < 10_000; i++ {
+		tbl.Col("region").AppendInt(int64(rng.Intn(5)))
+		tbl.Col("price").AppendFloat(1 + rng.Float64()*9)
+	}
+	if err := eng.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	eng := demoEngine(t)
+	if err := eng.DefineUDAF("rms", []string{"x"}, "sqrt(sum(x^2)/count())"); err != nil {
+		t.Fatal(err)
+	}
+	form, ok := eng.Explain("rms")
+	if !ok || !strings.Contains(form, "F=") {
+		t.Fatalf("Explain = %q, %v", form, ok)
+	}
+	for _, mode := range []sudaf.Mode{sudaf.Baseline, sudaf.Rewrite, sudaf.Share} {
+		res, err := eng.Query("SELECT region, rms(price) FROM sales GROUP BY region ORDER BY region", mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Table.NumRows() != 5 {
+			t.Fatalf("%v: %d rows", mode, res.Table.NumRows())
+		}
+	}
+	// rms cached {count, Σx²}; stddev additionally needs Σx, so it scans
+	// once — after which variance is a full cache hit.
+	if _, err := eng.Query("SELECT region, stddev(price) FROM sales GROUP BY region", sudaf.Share); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query("SELECT region, variance(price) FROM sales GROUP BY region", sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsScanned != 0 {
+		t.Errorf("variance should be served from cache, scanned %d", res.RowsScanned)
+	}
+	st := eng.CacheStats()
+	if st.Lookups == 0 {
+		t.Error("no cache lookups recorded")
+	}
+	if dump := eng.SymbolicSpaceDump(); !strings.Contains(dump, "saggs_2") {
+		t.Errorf("space dump: %q", dump[:40])
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	eng := demoEngine(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	res, err := eng.Query("SELECT region, avg(price) m FROM sales GROUP BY region ORDER BY region", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Table.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sudaf.LoadCSV("roundtrip", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != res.Table.NumRows() {
+		t.Fatalf("rows: %d vs %d", back.NumRows(), res.Table.NumRows())
+	}
+	for i := 0; i < back.NumRows(); i++ {
+		a := res.Table.Col("m").F[i]
+		b := back.Col("m").F[i]
+		if math.Abs(a-b) > 1e-4*(1+math.Abs(a)) {
+			t.Fatalf("row %d: %v vs %v", i, a, b)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSketchUDAF(t *testing.T) {
+	eng := demoEngine(t)
+	if err := eng.DefineSketchUDAF("p10", 8, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query("SELECT p10(price) FROM sales", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Table.Cols[0].F[0]
+	// Uniform(1,10): p10 ≈ 1.9; the sketch should land in [1, 4].
+	if v < 1 || v > 4 {
+		t.Errorf("p10 estimate %v out of range", v)
+	}
+}
+
+func TestFacadeViews(t *testing.T) {
+	eng := demoEngine(t)
+	if err := eng.Materialize("v", "SELECT region, avg(price) FROM sales GROUP BY region"); err != nil {
+		t.Fatal(err)
+	}
+	// A coarser query (grand total) rolls up from the view.
+	res, err := eng.Query("SELECT avg(price) FROM sales", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedView != "v" {
+		t.Errorf("expected roll-up from v, got %q (rows %d)", res.UsedView, res.RowsScanned)
+	}
+	eng.DropView("v")
+	eng.ClearCache()
+	res2, err := eng.Query("SELECT avg(price) FROM sales", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.UsedView != "" {
+		t.Error("view should be gone")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	eng := demoEngine(t)
+	if _, err := eng.Query("SELECT nope(price) FROM sales", sudaf.Rewrite); err == nil {
+		t.Error("unknown aggregate should fail")
+	}
+	if _, err := eng.Query("SELECT avg(price) FROM missing", sudaf.Rewrite); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := eng.Query("SELECT FROM", sudaf.Rewrite); err == nil {
+		t.Error("syntax error should fail")
+	}
+}
