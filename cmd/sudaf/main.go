@@ -24,10 +24,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -45,23 +47,40 @@ func (l *loadFlags) Set(v string) error {
 func main() {
 	var loads loadFlags
 	workers := flag.Int("workers", 0, "engine parallelism (0 = NumCPU)")
+	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = none), e.g. 30s")
+	numeric := flag.String("numeric", "permissive", "numeric fault policy: strict|permissive")
+	skipBad := flag.Bool("skip-bad-rows", false, "skip and count malformed CSV rows instead of failing the load")
 	flag.Var(&loads, "load", "name=path.csv (repeatable)")
 	flag.Parse()
 
-	eng := sudaf.Open(sudaf.Options{Workers: *workers})
+	var pol sudaf.NumericPolicy
+	switch *numeric {
+	case "permissive":
+		pol = sudaf.NumericPermissive
+	case "strict":
+		pol = sudaf.NumericStrict
+	default:
+		fatal("bad -numeric %q, want strict or permissive", *numeric)
+	}
+
+	eng := sudaf.Open(sudaf.Options{Workers: *workers, QueryTimeout: *timeout, Numeric: pol})
 	for _, spec := range loads {
 		parts := strings.SplitN(spec, "=", 2)
 		if len(parts) != 2 {
 			fatal("bad -load %q, want name=path.csv", spec)
 		}
-		t, err := sudaf.LoadCSV(parts[0], parts[1])
+		t, skipped, err := sudaf.LoadCSVWith(parts[0], parts[1], sudaf.CSVOptions{SkipBadRows: *skipBad})
 		if err != nil {
 			fatal("load %s: %v", spec, err)
 		}
 		if err := eng.Register(t); err != nil {
 			fatal("register %s: %v", parts[0], err)
 		}
-		fmt.Printf("loaded %s: %d rows\n", parts[0], t.NumRows())
+		fmt.Printf("loaded %s: %d rows", parts[0], t.NumRows())
+		if skipped > 0 {
+			fmt.Printf(" (%d malformed rows skipped)", skipped)
+		}
+		fmt.Println()
 	}
 
 	mode := sudaf.Share
@@ -84,10 +103,13 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		res, err := eng.Query(line, mode)
+		res, err := runQuery(eng, line, mode)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
+		}
+		for _, ev := range res.Events {
+			fmt.Println("note:", ev)
 		}
 		printTable(res)
 		fmt.Printf("(%d rows, %d base rows scanned, %v", res.Table.NumRows(),
@@ -100,6 +122,17 @@ func main() {
 		}
 		fmt.Println(")")
 	}
+}
+
+// runQuery executes one statement under a context canceled by Ctrl-C, so
+// an interrupt aborts the running query (scan/join/aggregate loops poll
+// cooperatively) and drops back to the prompt instead of killing the
+// shell. Signal delivery is restored before returning, so a Ctrl-C at the
+// prompt still terminates the process normally.
+func runQuery(eng *sudaf.Engine, sql string, mode sudaf.Mode) (*sudaf.Result, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return eng.QueryContext(ctx, sql, mode)
 }
 
 func runCommand(eng *sudaf.Engine, line string, mode *sudaf.Mode) (quit bool) {

@@ -20,11 +20,13 @@ package cache
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sync"
 
 	"sudaf/internal/canonical"
 	"sudaf/internal/expr"
+	"sudaf/internal/faultinject"
 	"sudaf/internal/scalar"
 	"sudaf/internal/sharing"
 	"sudaf/internal/storage"
@@ -41,7 +43,28 @@ type CachedState struct {
 	// PositiveInput records whether every base value folded into this
 	// state was > 0 (enables the positive-domain sharing cases).
 	PositiveInput bool
+	// checksum is the integrity checksum over Vals, set by AddState. A
+	// mismatch on lookup marks the state corrupted: it is dropped and the
+	// query recomputes from base data instead of failing.
+	checksum uint64
 }
+
+// ChecksumVals computes the FNV-1a integrity checksum of a value vector.
+func ChecksumVals(vals []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(bits >> (8 * i))
+		}
+		_, _ = h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// verify reports whether the state's values still match their checksum.
+func (cs *CachedState) verify() bool { return ChecksumVals(cs.Vals) == cs.checksum }
 
 // GroupTable is the cached content for one data fingerprint.
 type GroupTable struct {
@@ -108,11 +131,13 @@ func (gt *GroupTable) StateKeys() []string {
 	return out
 }
 
-// AddState inserts or replaces a state's values (length must match).
+// AddState inserts or replaces a state's values (length must match) and
+// stamps the integrity checksum verified on later lookups.
 func (gt *GroupTable) AddState(cs *CachedState) error {
 	if len(cs.Vals) != len(gt.Keys) {
 		return fmt.Errorf("state %s: %d values for %d groups", cs.State.Key(), len(cs.Vals), len(gt.Keys))
 	}
+	cs.checksum = ChecksumVals(cs.Vals)
 	k := cs.State.Key()
 	if i, ok := gt.byKey[k]; ok {
 		gt.states[i] = cs
@@ -121,6 +146,21 @@ func (gt *GroupTable) AddState(cs *CachedState) error {
 	gt.byKey[k] = len(gt.states)
 	gt.states = append(gt.states, cs)
 	return nil
+}
+
+// dropState removes a state by key, rebuilding the key index.
+func (gt *GroupTable) dropState(key string) {
+	i, ok := gt.byKey[key]
+	if !ok {
+		return
+	}
+	gt.states = append(gt.states[:i], gt.states[i+1:]...)
+	delete(gt.byKey, key)
+	for k, j := range gt.byKey {
+		if j > i {
+			gt.byKey[k] = j - 1
+		}
+	}
 }
 
 // Exact returns the cached state with the given key.
@@ -162,6 +202,10 @@ type Stats struct {
 	SignHits   int64 // hits via §5.3 sign-split companions
 	Misses     int64
 	Evictions  int64
+	// Corruptions counts cached states dropped because their integrity
+	// checksum no longer matched (each is a degradation event: the query
+	// fell back to recomputation instead of failing).
+	Corruptions int64
 }
 
 // Cache is the session-wide state cache with LRU eviction by fingerprint.
@@ -173,6 +217,9 @@ type Cache struct {
 	curBytes int64
 	space    *symbolic.Space
 	stats    Stats
+	// events records degradation events (corruption fallbacks, injected
+	// faults) until drained by the session.
+	events []string
 }
 
 // New creates a cache with the given byte budget (≤0 means 256 MiB) and
@@ -265,19 +312,59 @@ func (c *Cache) evict() {
 	}
 }
 
+// DrainEvents returns and clears accumulated degradation events.
+func (c *Cache) DrainEvents() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev := c.events
+	c.events = nil
+	return ev
+}
+
+// sweepCorrupt drops every cached state under gt whose values no longer
+// match their integrity checksum, recording a degradation event per
+// state. The caller holds c.mu.
+func (c *Cache) sweepCorrupt(gt *GroupTable) {
+	var bad []string
+	for _, s := range gt.states {
+		if !s.verify() {
+			bad = append(bad, s.State.Key())
+		}
+	}
+	if len(bad) == 0 {
+		return
+	}
+	c.curBytes -= gt.bytes()
+	for _, key := range bad {
+		gt.dropState(key)
+		c.stats.Corruptions++
+		c.events = append(c.events,
+			fmt.Sprintf("cache: state %s under %s failed integrity check; dropped, recomputing from base data", key, gt.Fingerprint))
+	}
+	c.curBytes += gt.bytes()
+}
+
 // Lookup resolves a requested state under a fingerprint: exact match,
 // Theorem 4.1 sharing, or §5.3 sign-split reconstruction. On success it
 // returns the per-group values (freshly materialized if rewritten).
+// Corrupted states (integrity-check failures) are dropped and reported
+// as misses, so callers degrade to recomputation rather than failing.
 func (c *Cache) Lookup(fp string, want canonical.State, positiveData bool) ([]float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Lookups++
+	if err := faultinject.Hit(faultinject.PointCacheGet); err != nil {
+		c.stats.Misses++
+		c.events = append(c.events, "cache: injected fault on get, treated as miss: "+err.Error())
+		return nil, false
+	}
 	gt, ok := c.entries[fp]
 	if !ok {
 		c.stats.Misses++
 		return nil, false
 	}
 	c.touch(fp)
+	c.sweepCorrupt(gt)
 	if cs, ok := gt.Exact(want.Key()); ok {
 		c.stats.ExactHits++
 		return cs.Vals, true
@@ -410,4 +497,28 @@ func (c *Cache) signSplitLookup(gt *GroupTable, want canonical.State) ([]float64
 func coefOf(p scalar.Prim) (float64, bool) {
 	v, err := scalar.CEval(p.A, nil)
 	return v, err == nil
+}
+
+// CorruptEntryForTest flips a bit in every cached state's values under a
+// fingerprint without updating checksums — a chaos/testing aid for the
+// integrity path. An empty fingerprint corrupts every entry. It returns
+// the number of states corrupted; 0 means the fingerprint is absent or
+// holds no states (or only empty vectors).
+func (c *Cache) CorruptEntryForTest(fp string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for f, gt := range c.entries {
+		if fp != "" && f != fp {
+			continue
+		}
+		for _, s := range gt.states {
+			if len(s.Vals) == 0 {
+				continue
+			}
+			s.Vals[0] = math.Float64frombits(math.Float64bits(s.Vals[0]) ^ 1)
+			n++
+		}
+	}
+	return n
 }

@@ -194,7 +194,10 @@ func evalUDAF(t *testing.T, f *Form, xs, ys []float64) float64 {
 				if ys != nil {
 					env["y"] = ys[j]
 				}
-				base := expr.MustEval(s.Base, env)
+				base, err := expr.Eval(s.Base, env)
+				if err != nil {
+					t.Fatalf("eval base: %v", err)
+				}
 				fx = s.F.Eval(base)
 			}
 			acc = s.Update(acc, fx)

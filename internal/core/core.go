@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"sudaf/internal/cache"
 	"sudaf/internal/canonical"
@@ -61,6 +62,19 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// NumericPolicy selects how NaN/±Inf aggregate outputs are handled; see
+// exec.NumericPolicy.
+type NumericPolicy = exec.NumericPolicy
+
+// Numeric policies.
+const (
+	// NumericPermissive emits NaN/±Inf (the SQL-NULL analogue) and counts
+	// the fault in Result.NumericFaults. The default.
+	NumericPermissive = exec.NumericPermissive
+	// NumericStrict fails the query on a numeric domain fault.
+	NumericStrict = exec.NumericStrict
+)
+
 // Options configures a session.
 type Options struct {
 	// Workers is the engine parallelism: 1 = "PostgreSQL mode" (serial),
@@ -72,6 +86,11 @@ type Options struct {
 	SymbolicL int
 	// DisableViews turns off aggregate-view rewriting.
 	DisableViews bool
+	// QueryTimeout bounds every query's execution (0 = no timeout); it
+	// also applies under QueryContext, nested inside the caller's context.
+	QueryTimeout time.Duration
+	// Numeric is the numeric fault policy (default NumericPermissive).
+	Numeric NumericPolicy
 }
 
 // Session is a SUDAF instance bound to a catalog of tables.
@@ -89,6 +108,11 @@ type Session struct {
 	EnableViewRewriting bool
 	// tempSeq numbers materialized subqueries.
 	tempSeq int
+
+	// queryTimeout bounds each query (0 = none); see SetQueryTimeout.
+	queryTimeout time.Duration
+	// numeric is the numeric fault policy; see SetNumericPolicy.
+	numeric NumericPolicy
 }
 
 // NewSession creates a session with the built-in UDAF library registered.
@@ -110,6 +134,8 @@ func NewSession(opts Options) *Session {
 		udafs:               map[string]*canonical.Form{},
 		views:               map[string]*rewrite.View{},
 		EnableViewRewriting: !opts.DisableViews,
+		queryTimeout:        opts.QueryTimeout,
+		numeric:             opts.Numeric,
 	}
 	s.registerBuiltinLibrary()
 	return s
@@ -134,6 +160,35 @@ func (s *Session) ClearCache() {
 
 // Space exposes the precomputed symbolic space.
 func (s *Session) Space() *symbolic.Space { return s.space }
+
+// Cache exposes the session's state cache (testing and chaos harnesses).
+func (s *Session) Cache() *cache.Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache
+}
+
+// SetNumericPolicy switches strict/permissive numeric fault handling at
+// runtime (e.g. from the shell).
+func (s *Session) SetNumericPolicy(p NumericPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.numeric = p
+}
+
+// NumericPolicySetting returns the session's numeric fault policy.
+func (s *Session) NumericPolicySetting() NumericPolicy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.numeric
+}
+
+// SetQueryTimeout changes the per-query timeout (0 disables it).
+func (s *Session) SetQueryTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queryTimeout = d
+}
 
 // Register adds a table to the catalog.
 func (s *Session) Register(t *storage.Table) error { return s.cat.Register(t) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sudaf/internal/cache"
@@ -25,20 +26,61 @@ type Result struct {
 	UsedView string
 	// FullCacheHit reports that no execution was needed.
 	FullCacheHit bool
+	// NumericFaults counts NaN/±Inf aggregate outputs observed under the
+	// permissive numeric policy.
+	NumericFaults int
+	// Events records degradation events: cache states dropped after
+	// failing integrity checks, recovered cache faults, numeric faults
+	// tolerated under the permissive policy. The query still succeeded —
+	// these report *how*.
+	Events []string
 }
 
 // Query parses and runs a SQL statement in the given mode.
 func (s *Session) Query(sql string, mode Mode) (*Result, error) {
+	return s.QueryContext(context.Background(), sql, mode)
+}
+
+// QueryContext parses and runs a SQL statement in the given mode under a
+// context: cancellation and deadlines propagate into the scan, join,
+// accumulate and finisher loops, which poll cooperatively. The session's
+// QueryTimeout (if any) is nested inside ctx. Internal panics anywhere on
+// the query path are recovered and returned as errors — a faulty query
+// never kills the process.
+func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	timeout := s.queryTimeout
+	s.mu.Unlock()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("query panicked (recovered): %v", r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.runStmt(stmt, mode, 0)
+	return s.runStmt(ctx, stmt, mode, 0)
 }
 
-func (s *Session) runStmt(stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, error) {
+func (s *Session) runStmt(ctx context.Context, stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, error) {
 	if depth > 4 {
 		return nil, fmt.Errorf("subquery nesting too deep")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Materialize derived tables bottom-up.
 	var temps []string
@@ -51,7 +93,7 @@ func (s *Session) runStmt(stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, e
 		if ref.Sub == nil {
 			continue
 		}
-		sub, err := s.runStmt(ref.Sub, mode, depth+1)
+		sub, err := s.runStmt(ctx, ref.Sub, mode, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +106,7 @@ func (s *Session) runStmt(stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, e
 	}
 
 	if !s.hasAggregates(stmt) && len(stmt.GroupBy) == 0 {
-		r, err := s.eng.RunSimple(stmt)
+		r, err := s.eng.RunSimple(ctx, stmt)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +127,7 @@ func (s *Session) runStmt(stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, e
 			Alias: item.Alias,
 		}
 	}
-	spec := exec.OutputSpec{Items: items}
+	spec := exec.OutputSpec{Items: items, Numeric: s.NumericPolicySetting()}
 	reg := exec.NewTaskRegistry()
 
 	if mode == ModeBaseline {
@@ -95,19 +137,31 @@ func (s *Session) runStmt(stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, e
 				return nil, err
 			}
 			spec.Finishers = append(spec.Finishers, fin)
+			spec.Labels = append(spec.Labels, call.String())
 		}
-		gr, err := s.eng.RunSpecs(dp, reg)
+		gr, err := s.eng.RunSpecs(ctx, dp, reg)
 		if err != nil {
 			return nil, err
 		}
-		out, err := exec.BuildOutput(stmt, dp, gr, spec)
+		out, err := exec.BuildOutput(ctx, stmt, dp, gr, spec)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Table: out.Table, RowsScanned: gr.Rows, Groups: out.Groups}, nil
+		res := &Result{Table: out.Table, RowsScanned: gr.Rows, Groups: out.Groups, NumericFaults: out.NumericFaults}
+		noteNumericFaults(res)
+		return res, nil
 	}
 
-	return s.runSUDAF(stmt, dp, calls, spec, reg, mode)
+	return s.runSUDAF(ctx, stmt, dp, calls, spec, reg, mode)
+}
+
+// noteNumericFaults records a degradation event for tolerated numeric
+// faults so they are visible without inspecting every output value.
+func noteNumericFaults(res *Result) {
+	if res.NumericFaults > 0 {
+		res.Events = append(res.Events,
+			fmt.Sprintf("numeric: %d NaN/±Inf aggregate output(s) under permissive policy", res.NumericFaults))
+	}
 }
 
 func (s *Session) hasAggregates(stmt *sqlparse.Stmt) bool {
@@ -134,8 +188,22 @@ type slot struct {
 }
 
 // runSUDAF executes a query in ModeRewrite or ModeShare.
-func (s *Session) runSUDAF(stmt *sqlparse.Stmt, dp *exec.DataPlan, calls []*expr.Call,
+func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.DataPlan, calls []*expr.Call,
 	spec exec.OutputSpec, reg *exec.TaskRegistry, mode Mode) (*Result, error) {
+
+	// events accumulates degradation notes (cache faults survived, states
+	// dropped). The cache is an accelerator: any fault in it downgrades to
+	// recomputation from base data, never a failed query.
+	var events []string
+	guard := func(stage string, f func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				events = append(events, fmt.Sprintf(
+					"cache: panic during %s (recovered); falling back to recomputation: %v", stage, r))
+			}
+		}()
+		f()
+	}
 
 	slots := map[string]*slot{}
 	var slotOrder []string
@@ -183,18 +251,24 @@ func (s *Session) runSUDAF(stmt *sqlparse.Stmt, dp *exec.DataPlan, calls []*expr
 			}
 			return tfn(buf)
 		})
+		spec.Labels = append(spec.Labels, call.String())
 	}
 
-	// Cache consultation (share mode only).
+	// Cache consultation (share mode only). Guarded: a cache that panics
+	// behaves like a cache that misses.
 	var entry *cache.GroupTable
 	entryOK := false
 	if mode == ModeShare {
-		entry, entryOK = s.cache.Entry(dp.Fingerprint)
+		guard("entry lookup", func() {
+			entry, entryOK = s.cache.Entry(dp.Fingerprint)
+		})
 		for _, key := range slotOrder {
 			sl := slots[key]
-			if vals, ok := s.cache.Lookup(dp.Fingerprint, sl.st, sl.positive); ok {
-				sl.cached = vals
-			}
+			guard("state lookup", func() {
+				if vals, ok := s.cache.Lookup(dp.Fingerprint, sl.st, sl.positive); ok {
+					sl.cached = vals
+				}
+			})
 		}
 	}
 
@@ -249,7 +323,7 @@ func (s *Session) runSUDAF(stmt *sqlparse.Stmt, dp *exec.DataPlan, calls []*expr
 		fullHit = true
 	} else {
 		var err error
-		gr, err = s.eng.RunSpecs(dpRun, reg)
+		gr, err = s.eng.RunSpecs(ctx, dpRun, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -275,38 +349,48 @@ func (s *Session) runSUDAF(stmt *sqlparse.Stmt, dp *exec.DataPlan, calls []*expr
 		gr.Values = append(gr.Values, aligned)
 	}
 
-	// Cache the freshly computed states (and companions).
+	// Cache the freshly computed states (and companions). Guarded: a
+	// failed insert costs future sharing, not this query.
 	if mode == ModeShare && !fullHit {
-		gt := cache.NewGroupTable(dp.Fingerprint, gr.KeyNames, gr.Keys, gr.KeyColumns)
-		for _, key := range slotOrder {
-			sl := slots[key]
-			if sl.taskIdx >= 0 {
-				_ = gt.AddState(&cache.CachedState{
-					State:         sl.st,
-					Vals:          gr.Values[sl.taskIdx],
-					PositiveInput: sl.positive,
-				})
+		guard("state insert", func() {
+			gt := cache.NewGroupTable(dp.Fingerprint, gr.KeyNames, gr.Keys, gr.KeyColumns)
+			for _, key := range slotOrder {
+				sl := slots[key]
+				if sl.taskIdx >= 0 {
+					_ = gt.AddState(&cache.CachedState{
+						State:         sl.st,
+						Vals:          gr.Values[sl.taskIdx],
+						PositiveInput: sl.positive,
+					})
+				}
 			}
-		}
-		for _, cs := range companions {
-			_ = gt.AddState(&cache.CachedState{State: cs.st, Vals: gr.Values[cs.taskIdx]})
-		}
-		if gt.NumStates() > 0 {
-			s.cache.Put(gt)
-		}
+			for _, cs := range companions {
+				_ = gt.AddState(&cache.CachedState{State: cs.st, Vals: gr.Values[cs.taskIdx]})
+			}
+			if gt.NumStates() > 0 {
+				s.cache.Put(gt)
+			}
+		})
 	}
 
-	out, err := exec.BuildOutput(stmt, dpRun, gr, spec)
+	out, err := exec.BuildOutput(ctx, stmt, dpRun, gr, spec)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Table:        out.Table,
-		RowsScanned:  gr.Rows,
-		Groups:       out.Groups,
-		UsedView:     usedView,
-		FullCacheHit: fullHit,
-	}, nil
+	if mode == ModeShare {
+		events = append(events, s.cache.DrainEvents()...)
+	}
+	res := &Result{
+		Table:         out.Table,
+		RowsScanned:   gr.Rows,
+		Groups:        out.Groups,
+		UsedView:      usedView,
+		FullCacheHit:  fullHit,
+		NumericFaults: out.NumericFaults,
+		Events:        events,
+	}
+	noteNumericFaults(res)
+	return res, nil
 }
 
 // addStateTask registers a compiled state task under its key.

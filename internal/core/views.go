@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sudaf/internal/cache"
@@ -71,7 +72,7 @@ func (s *Session) Materialize(name, sql string) error {
 	for _, st := range states {
 		addStateTask(reg, st, st.Key())
 	}
-	gr, err := s.eng.RunSpecs(dp, reg)
+	gr, err := s.eng.RunSpecs(context.Background(), dp, reg)
 	if err != nil {
 		return err
 	}
@@ -79,14 +80,18 @@ func (s *Session) Materialize(name, sql string) error {
 	// Materialize: key columns + s1..sk state columns.
 	tbl := storage.NewTable(name)
 	for _, kc := range gr.KeyColumns {
-		tbl.AddColumn(kc)
+		if err := tbl.AddColumn(kc); err != nil {
+			return fmt.Errorf("view %s: %w", name, err)
+		}
 	}
 	stateCols := map[string]string{}
 	for i, st := range states {
 		colName := fmt.Sprintf("s%d", i+1)
 		col := storage.NewColumn(colName, storage.KindFloat)
 		col.F = append(col.F, gr.Values[i]...)
-		tbl.AddColumn(col)
+		if err := tbl.AddColumn(col); err != nil {
+			return fmt.Errorf("view %s: %w", name, err)
+		}
 		stateCols[st.Key()] = colName
 	}
 	if err := s.cat.Register(tbl); err != nil {

@@ -1,9 +1,13 @@
 package exec
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"sync"
 
+	"sudaf/internal/faultinject"
 	"sudaf/internal/storage"
 )
 
@@ -72,7 +76,12 @@ func (gr *GroupResult) materializeKeys(groupBy []planCol) {
 
 // aggregate folds all tasks over the joined rows, in parallel when the
 // engine has multiple workers, merging per-partition partials (IUME).
-func (e *Engine) aggregate(dp *DataPlan, rs *RowSet, tasks []Task) (*GroupResult, error) {
+//
+// Each worker processes its partition in blocks of cancelCheckRows rows,
+// polling ctx between blocks (cooperative cancellation) and recovering
+// panics — a faulty task or accessor becomes an error joined at the
+// merge barrier instead of killing the process.
+func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks []Task) (*GroupResult, error) {
 	keyFns := make([]func(int32) int64, len(dp.groupBy))
 	for i, g := range dp.groupBy {
 		keyFns[i] = rs.bindInt(g)
@@ -100,6 +109,7 @@ func (e *Engine) aggregate(dp *DataPlan, rs *RowSet, tasks []Task) (*GroupResult
 		keys     []GroupKey
 		index    map[GroupKey]int32
 		partials []Partial
+		err      error
 	}
 	locals := make([]*localAgg, workers)
 	chunk := (rs.n + workers - 1) / workers
@@ -117,73 +127,127 @@ func (e *Engine) aggregate(dp *DataPlan, rs *RowSet, tasks []Task) (*GroupResult
 		wg.Add(1)
 		go func(lo, hi int, la *localAgg) {
 			defer wg.Done()
-			// Assign local group ids for this partition.
-			gids := make([]int32, hi-lo)
+			defer func() {
+				if r := recover(); r != nil {
+					la.err = fmt.Errorf("aggregation worker panic (recovered): %v", r)
+				}
+			}()
+			if hi == lo {
+				return
+			}
+			if err := faultinject.Hit(faultinject.PointExecWorker); err != nil {
+				la.err = err
+				return
+			}
+			// assignBlock maps rows [blo, bhi) to partition-local group ids,
+			// keeping the dedup index alive across blocks.
+			var assignBlock func(blo, bhi int, gids []int32)
 			switch {
 			case len(keyFns) == 0:
-				if hi > lo {
-					la.keys = append(la.keys, GroupKey{})
-					la.index[GroupKey{}] = 0
+				la.keys = append(la.keys, GroupKey{})
+				la.index[GroupKey{}] = 0
+				assignBlock = func(blo, bhi int, gids []int32) {
+					for i := range gids {
+						gids[i] = 0
+					}
 				}
 			case len(keyFns) == 1:
 				fn := keyFns[0]
 				idx := make(map[int64]int32, 256)
-				for i := lo; i < hi; i++ {
-					k := fn(int32(i))
-					gid, ok := idx[k]
-					if !ok {
-						gid = int32(len(la.keys))
-						idx[k] = gid
-						la.keys = append(la.keys, GroupKey{k, 0})
-						la.index[GroupKey{k, 0}] = gid
+				assignBlock = func(blo, bhi int, gids []int32) {
+					for i := blo; i < bhi; i++ {
+						k := fn(int32(i))
+						gid, ok := idx[k]
+						if !ok {
+							gid = int32(len(la.keys))
+							idx[k] = gid
+							la.keys = append(la.keys, GroupKey{k, 0})
+							la.index[GroupKey{k, 0}] = gid
+						}
+						gids[i-blo] = gid
 					}
-					gids[i-lo] = gid
 				}
 			case packable:
 				f0, f1 := keyFns[0], keyFns[1]
 				idx := make(map[int64]int32, 256)
-				for i := lo; i < hi; i++ {
-					a, b := f0(int32(i)), f1(int32(i))
-					k := a<<32 | b
-					gid, ok := idx[k]
-					if !ok {
-						gid = int32(len(la.keys))
-						idx[k] = gid
-						la.keys = append(la.keys, GroupKey{a, b})
-						la.index[GroupKey{a, b}] = gid
+				assignBlock = func(blo, bhi int, gids []int32) {
+					for i := blo; i < bhi; i++ {
+						a, b := f0(int32(i)), f1(int32(i))
+						k := a<<32 | b
+						gid, ok := idx[k]
+						if !ok {
+							gid = int32(len(la.keys))
+							idx[k] = gid
+							la.keys = append(la.keys, GroupKey{a, b})
+							la.index[GroupKey{a, b}] = gid
+						}
+						gids[i-blo] = gid
 					}
-					gids[i-lo] = gid
 				}
 			default:
-				var key GroupKey
-				for i := lo; i < hi; i++ {
-					for k, fn := range keyFns {
-						key[k] = fn(int32(i))
+				assignBlock = func(blo, bhi int, gids []int32) {
+					var key GroupKey
+					for i := blo; i < bhi; i++ {
+						for k, fn := range keyFns {
+							key[k] = fn(int32(i))
+						}
+						gid, ok := la.index[key]
+						if !ok {
+							gid = int32(len(la.keys))
+							la.index[key] = gid
+							la.keys = append(la.keys, key)
+						}
+						gids[i-blo] = gid
 					}
-					gid, ok := la.index[key]
-					if !ok {
-						gid = int32(len(la.keys))
-						la.index[key] = gid
-						la.keys = append(la.keys, key)
-					}
-					gids[i-lo] = gid
 				}
 			}
-			ng := len(la.keys)
-			if ng == 0 && hi > lo {
-				ng = 1
+			block := cancelCheckRows
+			if block > hi-lo {
+				block = hi - lo
 			}
-			if hi == lo {
-				return
-			}
-			for t, task := range tasks {
-				p := task.NewPartial(ng)
-				task.Accumulate(p, lo, hi, gids)
-				la.partials[t] = p
+			gids := make([]int32, block)
+			for blo := lo; blo < hi; blo += cancelCheckRows {
+				if err := ctx.Err(); err != nil {
+					la.err = err
+					return
+				}
+				bhi := blo + cancelCheckRows
+				if bhi > hi {
+					bhi = hi
+				}
+				bg := gids[:bhi-blo]
+				assignBlock(blo, bhi, bg)
+				ng := len(la.keys)
+				for t, task := range tasks {
+					if la.partials[t] == nil {
+						la.partials[t] = task.NewPartial(ng)
+					} else {
+						la.partials[t] = task.Grow(la.partials[t], ng)
+					}
+					task.Accumulate(la.partials[t], blo, bhi, bg)
+				}
 			}
 		}(lo, hi, la)
 	}
 	wg.Wait()
+
+	// Fault barrier: join worker errors (cancellation, injected faults,
+	// recovered panics) before merging.
+	var werrs []error
+	for _, la := range locals {
+		if la != nil && la.err != nil {
+			werrs = append(werrs, la.err)
+		}
+	}
+	if len(werrs) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err // prefer the canonical context error
+		}
+		return nil, errors.Join(werrs...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Merge partitions in worker order (deterministic group order).
 	gr := &GroupResult{Rows: rs.n}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -104,11 +105,11 @@ func runBuiltins(t *testing.T, e *Engine, sql string) *Result {
 		renumbered := expr.Substitute(rewritten, bind)
 		spec.Items = append(spec.Items, sqlparse.SelectItem{Expr: renumbered, Alias: item.Alias})
 	}
-	gr, err := e.RunSpecs(dp, reg)
+	gr, err := e.RunSpecs(context.Background(), dp, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BuildOutput(stmt, dp, gr, spec)
+	res, err := BuildOutput(context.Background(), stmt, dp, gr, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestStateTaskMatchesBuiltin(t *testing.T) {
 	reg.Add(cnt.Key(), func(b func(string) (Accessor, error)) (Task, error) {
 		return NewStateTask(cnt, b)
 	})
-	gr, err := e.RunSpecs(dp, reg)
+	gr, err := e.RunSpecs(context.Background(), dp, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestNaiveUDAFTaskMatchesDirect(t *testing.T) {
 	reg.Add("naive:qm", func(b func(string) (Accessor, error)) (Task, error) {
 		return NewNaiveUDAFTask(form, call, b)
 	})
-	gr, err := e.RunSpecs(dp, reg)
+	gr, err := e.RunSpecs(context.Background(), dp, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +323,7 @@ func TestRunSimpleProjection(t *testing.T) {
 	cat := testCatalog(t, 100)
 	e := NewEngine(cat, 1)
 	stmt, _ := sqlparse.Parse("SELECT s_item, price*qty AS revenue FROM sales WHERE price > 50")
-	res, err := e.RunSimple(stmt)
+	res, err := e.RunSimple(context.Background(), stmt)
 	if err != nil {
 		t.Fatal(err)
 	}

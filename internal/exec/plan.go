@@ -1,12 +1,14 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 
 	"sudaf/internal/catalog"
+	"sudaf/internal/faultinject"
 	"sudaf/internal/sqlparse"
 	"sudaf/internal/storage"
 )
@@ -221,8 +223,16 @@ func fingerprint(dp *DataPlan, stmt *sqlparse.Stmt) string {
 
 // ---- selection (filter evaluation) ----
 
-// selection evaluates a table's pushed-down filter to a row index vector.
-func selection(t *storage.Table, pred sqlparse.Pred) ([]int32, error) {
+// cancelCheckRows is the cooperative-cancellation granularity of the
+// scan, probe and accumulate loops: ctx.Err() is polled every block.
+const cancelCheckRows = 8192
+
+// selection evaluates a table's pushed-down filter to a row index vector,
+// polling ctx between blocks so runaway scans can be cancelled.
+func selection(ctx context.Context, t *storage.Table, pred sqlparse.Pred) ([]int32, error) {
+	if err := faultinject.Hit(faultinject.PointStorageScan); err != nil {
+		return nil, fmt.Errorf("scan %s: %w", t.Name, err)
+	}
 	n := t.NumRows()
 	if pred == nil {
 		all := make([]int32, n)
@@ -236,9 +246,18 @@ func selection(t *storage.Table, pred sqlparse.Pred) ([]int32, error) {
 		return nil, err
 	}
 	out := make([]int32, 0, n/4+16)
-	for i := 0; i < n; i++ {
-		if match(int32(i)) {
-			out = append(out, int32(i))
+	for lo := 0; lo < n; lo += cancelCheckRows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := lo + cancelCheckRows
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if match(int32(i)) {
+				out = append(out, int32(i))
+			}
 		}
 	}
 	return out, nil

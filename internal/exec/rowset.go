@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
+	"sudaf/internal/faultinject"
 	"sudaf/internal/storage"
 )
 
@@ -36,10 +39,10 @@ func (rs *RowSet) bindInt(pc planCol) func(int32) int64 {
 }
 
 // buildRowSet runs scans, filters and the left-deep hash join.
-func (dp *DataPlan) buildRowSet() (*RowSet, error) {
+func (dp *DataPlan) buildRowSet(ctx context.Context) (*RowSet, error) {
 	sels := map[string][]int32{}
 	for _, t := range dp.tables {
-		sel, err := selection(t, dp.filters[t.Name])
+		sel, err := selection(ctx, t, dp.filters[t.Name])
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +88,7 @@ func (dp *DataPlan) buildRowSet() (*RowSet, error) {
 		if !joined[probeT.Name] {
 			probeT, probeC, buildT, buildC = jc.rt, jc.rc, jc.lt, jc.lc
 		}
-		if err := rs.hashJoin(dp.eng.Workers, probeT, probeC, buildT, buildC, sels[buildT.Name]); err != nil {
+		if err := rs.hashJoin(ctx, dp.eng.Workers, probeT, probeC, buildT, buildC, sels[buildT.Name]); err != nil {
 			return nil, err
 		}
 		joined[buildT.Name] = true
@@ -115,10 +118,14 @@ func keys(m map[string]bool) []string {
 // hashJoin builds a hash table over the build side's selected rows and
 // probes with the current row set, expanding it in place. Probing is
 // chunked across workers; chunk outputs are concatenated in order so the
-// result is deterministic.
-func (rs *RowSet) hashJoin(workers int, probeT *storage.Table, probeC *storage.Column,
+// result is deterministic. Worker panics are recovered and surfaced as
+// errors, and probing polls ctx so long joins can be cancelled.
+func (rs *RowSet) hashJoin(ctx context.Context, workers int, probeT *storage.Table, probeC *storage.Column,
 	buildT *storage.Table, buildC *storage.Column, buildSel []int32) error {
 
+	if err := faultinject.Hit(faultinject.PointExecJoin); err != nil {
+		return fmt.Errorf("join %s⋈%s: %w", probeT.Name, buildT.Name, err)
+	}
 	// Build: key → row(s). Dimension keys are usually unique; fall back
 	// to a multimap only when duplicates exist.
 	single := make(map[int64]int32, len(buildSel))
@@ -151,6 +158,7 @@ func (rs *RowSet) hashJoin(workers int, probeT *storage.Table, probeC *storage.C
 		nchunks = rs.n/4096 + 1
 	}
 	outs := make([]chunkOut, nchunks)
+	errs := make([]error, nchunks)
 	var wg sync.WaitGroup
 	chunk := (rs.n + nchunks - 1) / nchunks
 	for c := 0; c < nchunks; c++ {
@@ -161,9 +169,22 @@ func (rs *RowSet) hashJoin(workers int, probeT *storage.Table, probeC *storage.C
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
+			// Isolate faults: a panicking probe worker must not kill the
+			// process; it becomes an error joined after the barrier.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[c] = fmt.Errorf("join worker panic (recovered): %v", r)
+				}
+			}()
 			keep := make([]int32, 0, hi-lo)
 			build := make([]int32, 0, hi-lo)
 			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelCheckRows == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[c] = err
+						return
+					}
+				}
 				k := probeKey(int32(i))
 				if multi != nil {
 					if rows, ok := multi[k]; ok && len(rows) > 0 {
@@ -183,6 +204,9 @@ func (rs *RowSet) hashJoin(workers int, probeT *storage.Table, probeC *storage.C
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
 
 	total := 0
 	for _, o := range outs {

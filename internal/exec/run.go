@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -46,9 +48,13 @@ func (r *TaskRegistry) Len() int { return len(r.specs) }
 func (r *TaskRegistry) Keys() []string { return r.names }
 
 // RunSpecs executes the data plan, builds the registered tasks against
-// the joined row set, and aggregates.
-func (e *Engine) RunSpecs(dp *DataPlan, reg *TaskRegistry) (*GroupResult, error) {
-	rs, err := dp.buildRowSet()
+// the joined row set, and aggregates. The context cancels the scan, join
+// and accumulate loops cooperatively; a nil ctx means Background.
+func (e *Engine) RunSpecs(ctx context.Context, dp *DataPlan, reg *TaskRegistry) (*GroupResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rs, err := dp.buildRowSet(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +66,7 @@ func (e *Engine) RunSpecs(dp *DataPlan, reg *TaskRegistry) (*GroupResult, error)
 		}
 		tasks[i] = t
 	}
-	return e.aggregate(dp, rs, tasks)
+	return e.aggregate(ctx, dp, rs, tasks)
 }
 
 // Finisher computes one aggregate call's value for group g from the task
@@ -75,6 +81,9 @@ type Result struct {
 	Rows int
 	// Groups is the number of groups before LIMIT.
 	Groups int
+	// NumericFaults counts NaN/±Inf aggregate outputs observed under the
+	// permissive numeric policy (0 under strict — the query errors first).
+	NumericFaults int
 }
 
 // placeholderPrefix names the synthetic variables replacing aggregate
@@ -108,18 +117,59 @@ func ExtractAggCalls(n expr.Node, isAgg func(name string) bool, calls *[]*expr.C
 	return n
 }
 
+// NumericPolicy selects how numeric domain faults — NaN or ±Inf emerging
+// from a terminating function T or a per-tuple translation F (sqrt of a
+// negative partial, 0/0 on an empty group, log of a non-positive value)
+// — are reported.
+type NumericPolicy int
+
+const (
+	// NumericPermissive emits the IEEE result (NaN/±Inf, the SQL-NULL
+	// analogue in this engine's float columns) and counts the fault in
+	// Result.NumericFaults so it is never silent.
+	NumericPermissive NumericPolicy = iota
+	// NumericStrict fails the query with an error naming the aggregate
+	// and group instead of emitting NaN/±Inf.
+	NumericStrict
+)
+
+func (p NumericPolicy) String() string {
+	if p == NumericStrict {
+		return "strict"
+	}
+	return "permissive"
+}
+
 // OutputSpec is a compiled select list for an aggregate query: rewritten
 // expressions plus the finishers backing each placeholder.
 type OutputSpec struct {
 	Items     []sqlparse.SelectItem // exprs with placeholders substituted
 	Finishers []Finisher            // one per placeholder, in order
+	// Labels names each finisher's aggregate call (for numeric-fault
+	// diagnostics); may be shorter than Finishers.
+	Labels []string
+	// Numeric is the numeric fault policy applied to finisher outputs.
+	Numeric NumericPolicy
+}
+
+func (out *OutputSpec) label(p int) string {
+	if p < len(out.Labels) {
+		return out.Labels[p]
+	}
+	return fmt.Sprintf("%s%d", placeholderPrefix, p)
 }
 
 // BuildOutput materializes the final result table: group-by key columns,
 // select expressions evaluated per group over placeholder values, then
-// ORDER BY and LIMIT.
-func BuildOutput(stmt *sqlparse.Stmt, dp *DataPlan, gr *GroupResult, out OutputSpec) (*Result, error) {
+// ORDER BY and LIMIT. Finisher loops poll ctx (terminating functions such
+// as the moment-sketch solver can dominate runtime), and NaN/±Inf outputs
+// are handled per the spec's NumericPolicy.
+func BuildOutput(ctx context.Context, stmt *sqlparse.Stmt, dp *DataPlan, gr *GroupResult, out OutputSpec) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	totalGroups := gr.NumGroups
+	numericFaults := 0
 	// When ORDER BY touches only group-key columns and a LIMIT is set,
 	// select the surviving groups *before* evaluating finishers — this is
 	// what lets expensive terminating functions (e.g. the moment-sketch
@@ -133,7 +183,20 @@ func BuildOutput(stmt *sqlparse.Stmt, dp *DataPlan, gr *GroupResult, out OutputS
 	for p, fin := range out.Finishers {
 		col := make([]float64, gr.NumGroups)
 		for g := 0; g < gr.NumGroups; g++ {
-			col[g] = fin(gr.Values, g)
+			if g%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			v := fin(gr.Values, g)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				if out.Numeric == NumericStrict {
+					return nil, fmt.Errorf("aggregate %s: numeric domain fault (%v) in group %d (strict numeric policy)",
+						out.label(p), v, g)
+				}
+				numericFaults++
+			}
+			col[g] = v
 		}
 		phVals[p] = col
 		phNames[p] = fmt.Sprintf("%s%d", placeholderPrefix, p)
@@ -152,7 +215,9 @@ func BuildOutput(stmt *sqlparse.Stmt, dp *DataPlan, gr *GroupResult, out OutputS
 		// Direct group-column reference (required for string columns).
 		if v, ok := item.Expr.(*expr.Var); ok {
 			if kc, ok := keyCols[v.Name]; ok {
-				res.AddColumn(kc.Renamed(name))
+				if err := res.AddColumn(kc.Renamed(name)); err != nil {
+					return nil, err
+				}
 				continue
 			}
 		}
@@ -163,7 +228,9 @@ func BuildOutput(stmt *sqlparse.Stmt, dp *DataPlan, gr *GroupResult, out OutputS
 				if v.Name == pn {
 					col := storage.NewColumn(name, storage.KindFloat)
 					col.F = append(col.F, phVals[p]...)
-					res.AddColumn(col)
+					if err := res.AddColumn(col); err != nil {
+						return nil, err
+					}
 					matched = true
 					break
 				}
@@ -187,14 +254,23 @@ func BuildOutput(stmt *sqlparse.Stmt, dp *DataPlan, gr *GroupResult, out OutputS
 			if err != nil {
 				return nil, fmt.Errorf("select item %q: %w", name, err)
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				if out.Numeric == NumericStrict {
+					return nil, fmt.Errorf("select item %q: numeric domain fault (%v) in group %d (strict numeric policy)",
+						name, v, g)
+				}
+				numericFaults++
+			}
 			col.AppendFloat(v)
 		}
-		res.AddColumn(col)
+		if err := res.AddColumn(col); err != nil {
+			return nil, err
+		}
 	}
 	if err := sortLimit(res, stmt); err != nil {
 		return nil, err
 	}
-	return &Result{Table: res, Rows: gr.Rows, Groups: totalGroups}, nil
+	return &Result{Table: res, Rows: gr.Rows, Groups: totalGroups, NumericFaults: numericFaults}, nil
 }
 
 // limitByKeys pre-selects groups when ORDER BY uses only group-key
@@ -351,17 +427,24 @@ func sortLimit(t *storage.Table, stmt *sqlparse.Stmt) error {
 
 // RunSimple executes a non-aggregate query: scan/filter/join then
 // row-wise projection (used for materializing plain derived tables).
-func (e *Engine) RunSimple(stmt *sqlparse.Stmt) (*Result, error) {
+// Projection loops poll ctx cooperatively.
+func (e *Engine) RunSimple(ctx context.Context, stmt *sqlparse.Stmt) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	dp, err := e.PrepareData(stmt)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := dp.buildRowSet()
+	rs, err := dp.buildRowSet(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res := storage.NewTable("result")
 	for pos, item := range stmt.Select {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		name := item.OutputName(pos)
 		// Column passthrough keeps its type.
 		if v, ok := item.Expr.(*expr.Var); ok {
@@ -379,7 +462,9 @@ func (e *Engine) RunSimple(stmt *sqlparse.Stmt) (*Result, error) {
 							nc.AppendString(src.StringAt(int(vec[i])))
 						}
 					}
-					res.AddColumn(nc)
+					if err := res.AddColumn(nc); err != nil {
+						return nil, err
+					}
 					break
 				}
 			}
@@ -395,7 +480,9 @@ func (e *Engine) RunSimple(stmt *sqlparse.Stmt) (*Result, error) {
 		for i := 0; i < rs.n; i++ {
 			nc.AppendFloat(acc(int32(i)))
 		}
-		res.AddColumn(nc)
+		if err := res.AddColumn(nc); err != nil {
+			return nil, err
+		}
 	}
 	if err := sortLimit(res, stmt); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"sudaf/internal/sqlparse"
@@ -70,7 +71,7 @@ func TestPrepareDataErrors(t *testing.T) {
 		}
 		if dp, err := e.PrepareData(stmt); err == nil {
 			// Some failures surface at execution; force it.
-			if _, err2 := e.RunSpecs(dp, NewTaskRegistry()); err2 == nil {
+			if _, err2 := e.RunSpecs(context.Background(), dp, NewTaskRegistry()); err2 == nil {
 				t.Errorf("%q should fail", q)
 			}
 		}
@@ -89,7 +90,7 @@ func TestDisconnectedJoinFails(t *testing.T) {
 	reg.Add("count", func(b func(string) (Accessor, error)) (Task, error) {
 		return &BuiltinTask{Kind: BCount, Lbl: "count"}, nil
 	})
-	if _, err := e.RunSpecs(dp, reg); err == nil {
+	if _, err := e.RunSpecs(context.Background(), dp, reg); err == nil {
 		t.Error("cartesian product (no join condition) should fail")
 	}
 }

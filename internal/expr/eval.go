@@ -104,13 +104,3 @@ func evalScalarFunc(name string, args []float64) (float64, error) {
 	}
 	return 0, fmt.Errorf("unknown scalar function %q", name)
 }
-
-// MustEval evaluates and panics on error; for tests and internal fixed
-// expressions.
-func MustEval(n Node, env Env) float64 {
-	v, err := Eval(n, env)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}

@@ -242,7 +242,10 @@ func TestEvalScalarFunctions(t *testing.T) {
 		"(x+y)*(x-y)": 12,
 	}
 	for src, want := range cases {
-		got := MustEval(MustParse(src), env)
+		got, err := Eval(MustParse(src), env)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", src, err)
+		}
 		if math.Abs(got-want) > 1e-12 {
 			t.Errorf("Eval(%q) = %v, want %v", src, got, want)
 		}

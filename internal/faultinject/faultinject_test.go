@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledFastPath(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("injection should start disabled")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Hit(PointStorageScan); err != nil {
+			t.Fatalf("disabled Hit returned %v", err)
+		}
+	}
+	if HitCount(PointStorageScan) != 0 {
+		t.Error("disabled hits should not be counted")
+	}
+}
+
+func TestErrorKind(t *testing.T) {
+	defer Reset()
+	Arm(PointCacheGet, Spec{Kind: KindError})
+	err := Hit(PointCacheGet)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// Unarmed points are unaffected.
+	if err := Hit(PointStorageScan); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	defer Reset()
+	custom := errors.New("boom")
+	Arm(PointExecJoin, Spec{Kind: KindError, Err: custom})
+	if err := Hit(PointExecJoin); !errors.Is(err, custom) {
+		t.Fatalf("want custom error, got %v", err)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	defer Reset()
+	Arm(PointExecWorker, Spec{Kind: KindError, After: 2, Times: 1})
+	var errs int
+	for i := 0; i < 5; i++ {
+		if Hit(PointExecWorker) != nil {
+			errs++
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("After=2 Times=1 over 5 hits: want 1 error, got %d", errs)
+	}
+	if HitCount(PointExecWorker) != 5 || Fired(PointExecWorker) != 1 {
+		t.Fatalf("hits=%d fired=%d", HitCount(PointExecWorker), Fired(PointExecWorker))
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	defer Reset()
+	Arm(PointStorageScan, Spec{Kind: KindPanic})
+	defer func() {
+		if recover() == nil {
+			t.Error("KindPanic should panic")
+		}
+	}()
+	_ = Hit(PointStorageScan)
+}
+
+func TestDelayKind(t *testing.T) {
+	defer Reset()
+	Arm(PointCacheGet, Spec{Kind: KindDelay, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := Hit(PointCacheGet); err != nil {
+		t.Fatalf("KindDelay returned error: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("delay not applied")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	defer Reset()
+	Arm(PointCacheGet, Spec{Kind: KindError})
+	Disarm(PointCacheGet)
+	if err := Hit(PointCacheGet); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if !Enabled() {
+		t.Error("Disarm should leave injection enabled for other points")
+	}
+}
+
+func TestPlanFromSeedDeterministic(t *testing.T) {
+	defer Reset()
+	n1, s1 := PlanFromSeed(42)
+	Reset()
+	n2, s2 := PlanFromSeed(42)
+	if n1 != n2 || s1 != s2 {
+		t.Fatalf("same seed diverged: (%s %+v) vs (%s %+v)", n1, s1, n2, s2)
+	}
+	if !Enabled() {
+		t.Error("PlanFromSeed should arm the point")
+	}
+	found := false
+	for _, p := range Points() {
+		if p == n1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("plan chose unknown point %q", n1)
+	}
+}

@@ -224,7 +224,10 @@ func TestParseArithmeticProjection(t *testing.T) {
 	}
 	// Expression must evaluate correctly.
 	env := expr.MapEnv{"s1": 2, "s2": 3, "s3": 4, "s4": 5, "s5": 6}
-	got := expr.MustEval(s.Select[0].Expr, env)
+	got, err := expr.Eval(s.Select[0].Expr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := (2.0*6 - 5*3) / (2.0*4 - 9)
 	if got != want {
 		t.Errorf("eval = %v, want %v", got, want)

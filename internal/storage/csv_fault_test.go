@@ -1,0 +1,69 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+const faultyCSV = "id:int,v:float,tag:string\n" +
+	"1,1.5,a\n" +
+	"2,not-a-number,b\n" + // line 3: bad float
+	"3,3.5\n" + // line 4: short row
+	"4,4.5,d\n"
+
+func TestCSVMalformedRowError(t *testing.T) {
+	_, err := ReadCSV("x", strings.NewReader(faultyCSV))
+	if err == nil {
+		t.Fatal("malformed row should fail the load")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should carry the line number: %v", err)
+	}
+	if !strings.Contains(err.Error(), "column v") {
+		t.Errorf("error should name the column: %v", err)
+	}
+}
+
+func TestCSVShortRowError(t *testing.T) {
+	csv := "id:int,v:float\n1,1.5\n2\n"
+	_, err := ReadCSV("x", strings.NewReader(csv))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("short row should fail with its line number: %v", err)
+	}
+}
+
+func TestCSVSkipBadRows(t *testing.T) {
+	tbl, skipped, err := ReadCSVWith("x", strings.NewReader(faultyCSV), CSVOptions{SkipBadRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", tbl.NumRows())
+	}
+	// Good rows are intact and aligned — no half-applied bad rows.
+	if err := tbl.Validate(); err != nil {
+		t.Errorf("skip-and-count left a ragged table: %v", err)
+	}
+	if tbl.Col("id").I[0] != 1 || tbl.Col("id").I[1] != 4 {
+		t.Errorf("ids: %v", tbl.Col("id").I)
+	}
+	if tbl.Col("v").F[1] != 4.5 || tbl.Col("tag").StringAt(1) != "d" {
+		t.Errorf("row 4 mangled: v=%v tag=%q", tbl.Col("v").F[1], tbl.Col("tag").StringAt(1))
+	}
+}
+
+func TestCSVBadRowLeavesNoPartialRow(t *testing.T) {
+	// A row whose *last* field is bad must not leave earlier fields
+	// appended (strict mode errors; skip mode drops the whole row).
+	csv := "a:float,b:float\n1,2\n3,oops\n"
+	tbl, skipped, err := ReadCSVWith("x", strings.NewReader(csv), CSVOptions{SkipBadRows: true})
+	if err != nil || skipped != 1 {
+		t.Fatalf("err=%v skipped=%d", err, skipped)
+	}
+	if len(tbl.Col("a").F) != 1 || len(tbl.Col("b").F) != 1 {
+		t.Errorf("partial row committed: a=%v b=%v", tbl.Col("a").F, tbl.Col("b").F)
+	}
+}

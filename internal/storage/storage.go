@@ -207,25 +207,40 @@ type Table struct {
 	Name   string
 	Cols   []*Column
 	byName map[string]int
+	// err is the first construction error (e.g. a duplicate column passed
+	// to NewTable); surfaced by Err and Validate rather than panicking.
+	err error
 }
 
 // NewTable creates a table with the given columns (which may be empty).
+// A duplicate column name is recorded as a deferred error (see Err) and
+// the duplicate is not added.
 func NewTable(name string, cols ...*Column) *Table {
 	t := &Table{Name: name, byName: map[string]int{}}
 	for _, c := range cols {
-		t.AddColumn(c)
+		_ = t.AddColumn(c)
 	}
 	return t
 }
 
-// AddColumn registers a column; duplicate names panic (schema bug).
-func (t *Table) AddColumn(c *Column) {
+// AddColumn registers a column. A duplicate name returns an error, leaves
+// the table unchanged, and is also recorded as the table's deferred error
+// so Validate (and catalog registration) reject the schema.
+func (t *Table) AddColumn(c *Column) error {
 	if _, dup := t.byName[c.Name]; dup {
-		panic(fmt.Sprintf("table %s: duplicate column %s", t.Name, c.Name))
+		err := fmt.Errorf("table %s: duplicate column %s", t.Name, c.Name)
+		if t.err == nil {
+			t.err = err
+		}
+		return err
 	}
 	t.byName[c.Name] = len(t.Cols)
 	t.Cols = append(t.Cols, c)
+	return nil
 }
+
+// Err returns the first construction error recorded for the table.
+func (t *Table) Err() error { return t.err }
 
 // Col returns the named column, or nil.
 func (t *Table) Col(name string) *Column {
@@ -258,8 +273,12 @@ func (t *Table) ColumnNames() []string {
 	return out
 }
 
-// Validate checks all columns have equal length.
+// Validate checks the table has no deferred construction error and all
+// columns have equal length.
 func (t *Table) Validate() error {
+	if t.err != nil {
+		return t.err
+	}
 	n := t.NumRows()
 	for _, c := range t.Cols {
 		if c.Len() != n {
@@ -292,13 +311,33 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV reads a table written by WriteCSV.
+// CSVOptions controls malformed-row handling during CSV import.
+type CSVOptions struct {
+	// SkipBadRows drops rows with the wrong field count or unparsable
+	// values instead of failing the load; ReadCSVWith reports how many
+	// rows were skipped.
+	SkipBadRows bool
+}
+
+// ReadCSV reads a table written by WriteCSV, rejecting malformed rows
+// with a line-numbered error.
 func ReadCSV(name string, r io.Reader) (*Table, error) {
+	t, _, err := ReadCSVWith(name, r, CSVOptions{})
+	return t, err
+}
+
+// ReadCSVWith reads a table written by WriteCSV. Malformed rows (wrong
+// field count, unparsable numeric fields) either fail with an error
+// naming the offending line and column, or — with SkipBadRows — are
+// dropped whole (never partially applied) and counted. Line numbers
+// assume one record per line (quoted embedded newlines shift them).
+func ReadCSVWith(name string, r io.Reader, opts CSVOptions) (*Table, int, error) {
 	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
 	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1 // field counts are validated here, with line numbers
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("read header: %w", err)
+		return nil, 0, fmt.Errorf("%s: read header: %w", name, err)
 	}
 	t := NewTable(name)
 	for _, h := range header {
@@ -313,39 +352,84 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 			case "float":
 				kind = KindFloat
 			default:
-				return nil, fmt.Errorf("unknown column kind %q", parts[1])
+				return nil, 0, fmt.Errorf("%s: header: unknown column kind %q", name, parts[1])
 			}
 		}
-		t.AddColumn(NewColumn(parts[0], kind))
+		if err := t.AddColumn(NewColumn(parts[0], kind)); err != nil {
+			return nil, 0, fmt.Errorf("%s: header: %w", name, err)
+		}
 	}
+	// Rows are parsed fully into scratch before committing, so a bad
+	// field never leaves a half-appended row behind.
+	type cell struct {
+		f float64
+		i int64
+		s string
+	}
+	row := make([]cell, len(t.Cols))
+	line := 1 // header
+	skipped := 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
+		line++
 		if err != nil {
-			return nil, err
+			if opts.SkipBadRows {
+				skipped++
+				continue
+			}
+			return nil, skipped, fmt.Errorf("%s: line %d: %w", name, line, err)
 		}
+		if len(rec) != len(t.Cols) {
+			if opts.SkipBadRows {
+				skipped++
+				continue
+			}
+			return nil, skipped, fmt.Errorf("%s: line %d: %d fields, want %d", name, line, len(rec), len(t.Cols))
+		}
+		bad := error(nil)
 		for j, c := range t.Cols {
 			switch c.Kind {
 			case KindFloat:
 				v, err := strconv.ParseFloat(rec[j], 64)
 				if err != nil {
-					return nil, fmt.Errorf("column %s: %w", c.Name, err)
+					bad = fmt.Errorf("%s: line %d: column %s: %w", name, line, c.Name, err)
 				}
-				c.AppendFloat(v)
+				row[j].f = v
 			case KindInt:
 				v, err := strconv.ParseInt(rec[j], 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("column %s: %w", c.Name, err)
+					bad = fmt.Errorf("%s: line %d: column %s: %w", name, line, c.Name, err)
 				}
-				c.AppendInt(v)
+				row[j].i = v
 			default:
-				c.AppendString(rec[j])
+				row[j].s = rec[j]
+			}
+			if bad != nil {
+				break
+			}
+		}
+		if bad != nil {
+			if opts.SkipBadRows {
+				skipped++
+				continue
+			}
+			return nil, skipped, bad
+		}
+		for j, c := range t.Cols {
+			switch c.Kind {
+			case KindFloat:
+				c.AppendFloat(row[j].f)
+			case KindInt:
+				c.AppendInt(row[j].i)
+			default:
+				c.AppendString(row[j].s)
 			}
 		}
 	}
-	return t, t.Validate()
+	return t, skipped, t.Validate()
 }
 
 // SaveCSVFile writes the table to a file path.
@@ -364,10 +448,17 @@ func (t *Table) SaveCSVFile(path string) error {
 // LoadCSVFile reads a table from a file path; the table is named after
 // the file's base name sans extension unless name is non-empty.
 func LoadCSVFile(name, path string) (*Table, error) {
+	t, _, err := LoadCSVFileWith(name, path, CSVOptions{})
+	return t, err
+}
+
+// LoadCSVFileWith reads a table from a file path with explicit
+// malformed-row handling, reporting the number of skipped rows.
+func LoadCSVFileWith(name, path string, opts CSVOptions) (*Table, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
-	return ReadCSV(name, f)
+	return ReadCSVWith(name, f, opts)
 }

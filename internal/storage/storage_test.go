@@ -148,13 +148,27 @@ func TestValidateMismatch(t *testing.T) {
 	}
 }
 
-func TestDuplicateColumnPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on duplicate column")
-		}
-	}()
-	NewTable("d", NewColumn("a", KindInt), NewColumn("a", KindFloat))
+func TestDuplicateColumnError(t *testing.T) {
+	// NewTable records the duplicate as a deferred error instead of
+	// panicking; Err/Validate surface it, and the bad column is dropped.
+	tbl := NewTable("d", NewColumn("a", KindInt), NewColumn("a", KindFloat))
+	if tbl.Err() == nil {
+		t.Error("expected deferred error on duplicate column")
+	}
+	if err := tbl.Validate(); err == nil {
+		t.Error("Validate should surface the duplicate-column error")
+	}
+	if got := len(tbl.Cols); got != 1 {
+		t.Errorf("duplicate column should not be added, got %d cols", got)
+	}
+
+	t2 := NewTable("ok", NewColumn("a", KindInt))
+	if err := t2.AddColumn(NewColumn("a", KindFloat)); err == nil {
+		t.Error("AddColumn should reject a duplicate name")
+	}
+	if err := t2.AddColumn(NewColumn("b", KindFloat)); err != nil {
+		t.Errorf("distinct column rejected: %v", err)
+	}
 }
 
 func TestValueString(t *testing.T) {

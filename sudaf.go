@@ -29,6 +29,9 @@
 package sudaf
 
 import (
+	"context"
+	"time"
+
 	"sudaf/internal/cache"
 	"sudaf/internal/canonical"
 	"sudaf/internal/core"
@@ -52,8 +55,24 @@ const (
 	Share = core.ModeShare
 )
 
-// Options configures an engine.
+// Options configures an engine. Beyond parallelism and cache sizing it
+// carries the failure-model knobs: QueryTimeout bounds every query, and
+// Numeric selects strict vs permissive handling of NaN/±Inf aggregate
+// outputs (see NumericPolicy).
 type Options = core.Options
+
+// NumericPolicy selects how NaN/±Inf aggregate outputs are handled.
+type NumericPolicy = core.NumericPolicy
+
+// Numeric policies.
+const (
+	// NumericPermissive (the default) emits NaN/±Inf like SQL emits NULL,
+	// counts them in Result.NumericFaults and notes them in Result.Events.
+	NumericPermissive = core.NumericPermissive
+	// NumericStrict fails the query with an error naming the aggregate and
+	// group on the first numeric domain fault.
+	NumericStrict = core.NumericStrict
+)
 
 // Result is a query result; Table holds the output columns.
 type Result = core.Result
@@ -85,9 +104,21 @@ func NewTable(name string, cols ...*Column) *Table { return storage.NewTable(nam
 // NewColumn creates a column.
 func NewColumn(name string, kind ColumnKind) *Column { return storage.NewColumn(name, kind) }
 
+// CSVOptions controls CSV loading fault handling.
+type CSVOptions = storage.CSVOptions
+
 // LoadCSV reads a table from a CSV file written by Table.SaveCSVFile
-// (typed header "name:kind" per field).
+// (typed header "name:kind" per field). Malformed rows fail the load with
+// a line-numbered error; use LoadCSVWith to skip and count them instead.
 func LoadCSV(name, path string) (*Table, error) { return storage.LoadCSVFile(name, path) }
+
+// LoadCSVWith reads a table from a CSV file with explicit fault handling:
+// with SkipBadRows set, malformed rows (wrong field count, unparsable
+// values) are skipped and counted instead of failing the load. Returns
+// the table and the number of rows skipped.
+func LoadCSVWith(name, path string, opts CSVOptions) (*Table, int, error) {
+	return storage.LoadCSVFileWith(name, path, opts)
+}
 
 // Engine is a SUDAF instance: a catalog of tables, a UDAF registry, the
 // state cache and the execution engine.
@@ -139,6 +170,21 @@ func (e *Engine) UDAFNames() []string { return e.s.UDAFNames() }
 func (e *Engine) Query(sql string, mode Mode) (*Result, error) {
 	return e.s.Query(sql, mode)
 }
+
+// QueryContext runs a SELECT statement in the given mode under a context:
+// cancellation and deadlines propagate cooperatively into scans, joins,
+// partition aggregation and output construction. The engine's QueryTimeout
+// (if set) nests inside ctx.
+func (e *Engine) QueryContext(ctx context.Context, sql string, mode Mode) (*Result, error) {
+	return e.s.QueryContext(ctx, sql, mode)
+}
+
+// SetQueryTimeout changes the per-query timeout at runtime (0 disables).
+func (e *Engine) SetQueryTimeout(d time.Duration) { e.s.SetQueryTimeout(d) }
+
+// SetNumericPolicy switches strict/permissive numeric fault handling at
+// runtime.
+func (e *Engine) SetNumericPolicy(p NumericPolicy) { e.s.SetNumericPolicy(p) }
 
 // RewriteSQL renders the SUDAF rewriting of a query as SQL text — the
 // partial-aggregate derived-table form (RQ1/RQ2 in the paper) that SUDAF
