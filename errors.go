@@ -1,0 +1,29 @@
+package sudaf
+
+import "sudaf/internal/errs"
+
+// Sentinel errors returned (wrapped) by Query, QueryContext and
+// QueryBatches. Match them with errors.Is; the wrapped message carries
+// the specifics (which table, which aggregate, which group):
+//
+//	_, err := eng.Query(`SELECT qm(price) FROM nosuch`, sudaf.Rewrite)
+//	if errors.Is(err, sudaf.ErrUnknownTable) { ... }
+var (
+	// ErrUnknownTable reports a FROM reference to a table that was never
+	// Register-ed.
+	ErrUnknownTable = errs.ErrUnknownTable
+	// ErrUnknownUDAF reports an aggregate call that is neither a SQL
+	// built-in nor a registered UDAF.
+	ErrUnknownUDAF = errs.ErrUnknownUDAF
+	// ErrParse reports a SQL syntax error.
+	ErrParse = errs.ErrParse
+	// ErrNumericFault reports a NaN/±Inf aggregate output rejected under
+	// NumericStrict. Under NumericPermissive the value is emitted and
+	// counted in Result.NumericFaults instead.
+	ErrNumericFault = errs.ErrNumericFault
+	// ErrCanceled reports a query stopped by context cancellation, a
+	// deadline, or the engine's QueryTimeout. The originating context
+	// error stays wrapped, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working too.
+	ErrCanceled = errs.ErrCanceled
+)

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"sudaf/internal/core"
+	"sudaf/internal/data"
+)
+
+func TestKernelSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke test")
+	}
+	r, buf := tinyRunner()
+	kr := r.Kernel()
+	if len(kr.Rewrite) != 2*len(KernelAggs) || len(kr.Baseline) != 2*len(KernelAggs) {
+		t.Fatalf("got %d rewrite / %d baseline measurements", len(kr.Rewrite), len(kr.Baseline))
+	}
+	if kr.Speedup() <= 0 {
+		t.Error("speedup not computed")
+	}
+	for _, want := range []string{"== KERNEL", "rewrite  qm", "baseline qm", "geomean"} {
+		if out := buf.String(); !containsStr(out, want) {
+			t.Errorf("kernel output missing %q", want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- the Fig 10-adjacent kernel micro-benchmark (≥1M rows) ----
+
+var (
+	kernelOnce sync.Once
+	kernelSess *core.Session
+)
+
+// kernelSession loads 1.5M Milan rows once for all kernel benchmarks.
+func kernelSession(b *testing.B) *core.Session {
+	b.Helper()
+	kernelOnce.Do(func() {
+		kernelSess = core.NewSession(core.Options{Workers: 0})
+		s := kernelSess
+		if err := s.Register(data.Milan(1_500_000, 500, 7)); err != nil {
+			panic(err)
+		}
+	})
+	return kernelSess
+}
+
+func benchKernelQuery(b *testing.B, mode core.Mode, vectorized bool) {
+	s := kernelSession(b)
+	s.SetVectorizedKernels(vectorized)
+	defer s.SetVectorizedKernels(true)
+	sql := queryModel(2, "qm")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearCache()
+		if _, err := s.Query(sql, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1_500_000 * 8) // value column bytes per query, for MB/s
+}
+
+// The acceptance pair: Rewrite-mode group-by qm over 1.5M rows, batch
+// kernels vs tuple-at-a-time. The vectorized run must be ≥ 2× faster.
+func BenchmarkKernel_Rewrite_Vectorized(b *testing.B) { benchKernelQuery(b, core.ModeRewrite, true) }
+func BenchmarkKernel_Rewrite_Tuple(b *testing.B)      { benchKernelQuery(b, core.ModeRewrite, false) }
+
+// Baseline controls: interpreted per-tuple UDAFs never vectorize, so the
+// kernel toggle must not move these.
+func BenchmarkKernel_Baseline_Vectorized(b *testing.B) { benchKernelQuery(b, core.ModeBaseline, true) }
+func BenchmarkKernel_Baseline_Tuple(b *testing.B)      { benchKernelQuery(b, core.ModeBaseline, false) }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sudaf/internal/errs"
 	"sudaf/internal/storage"
 )
 
@@ -40,7 +41,7 @@ func (c *Catalog) Drop(name string) { delete(c.tables, name) }
 func (c *Catalog) Table(name string) (*storage.Table, error) {
 	t, ok := c.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("unknown table %q", name)
+		return nil, fmt.Errorf("%w %q", errs.ErrUnknownTable, name)
 	}
 	return t, nil
 }

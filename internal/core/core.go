@@ -183,6 +183,16 @@ func (s *Session) NumericPolicySetting() NumericPolicy {
 	return s.numeric
 }
 
+// SetVectorizedKernels toggles the batch aggregation kernels (on by
+// default). Off forces every task onto the tuple-at-a-time path; results
+// are identical, only throughput changes. Used by benchmarks and the
+// batch≡tuple differential tests.
+func (s *Session) SetVectorizedKernels(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.DisableVectorKernels = !on
+}
+
 // SetQueryTimeout changes the per-query timeout (0 disables it).
 func (s *Session) SetQueryTimeout(d time.Duration) {
 	s.mu.Lock()

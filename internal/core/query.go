@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"sudaf/internal/cache"
 	"sudaf/internal/canonical"
+	"sudaf/internal/errs"
 	"sudaf/internal/exec"
 	"sudaf/internal/expr"
 	"sudaf/internal/rewrite"
@@ -64,13 +66,21 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 			res = nil
 			err = fmt.Errorf("query panicked (recovered): %v", r)
 		}
+		// Classify cancellation/deadline failures under ErrCanceled. The
+		// original context error stays wrapped too, so both
+		// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled)
+		// hold.
+		if err != nil && !errors.Is(err, errs.ErrCanceled) &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			err = fmt.Errorf("%w: %w", errs.ErrCanceled, err)
+		}
 	}()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", errs.ErrParse, err)
 	}
 	return s.runStmt(ctx, stmt, mode, 0)
 }
@@ -103,6 +113,24 @@ func (s *Session) runStmt(ctx context.Context, stmt *sqlparse.Stmt, mode Mode, d
 		}
 		temps = append(temps, ref.Alias)
 		stmt.From[i] = sqlparse.TableRef{Name: ref.Alias}
+	}
+
+	// A call with aggregate syntax (sum, prod, …) that is neither a SQL
+	// built-in nor a registered UDAF would otherwise fall through to the
+	// scalar evaluator and fail confusingly; reject it up front under the
+	// ErrUnknownUDAF sentinel.
+	for _, item := range stmt.Select {
+		var unknown error
+		expr.Walk(item.Expr, func(n expr.Node) bool {
+			if c, ok := n.(*expr.Call); ok && expr.AggregateFuncs[c.Name] && !s.isAgg(c.Name) {
+				unknown = fmt.Errorf("%w %q", errs.ErrUnknownUDAF, c.Name)
+				return false
+			}
+			return true
+		})
+		if unknown != nil {
+			return nil, unknown
+		}
 	}
 
 	if !s.hasAggregates(stmt) && len(stmt.GroupBy) == 0 {
@@ -395,8 +423,8 @@ func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.Da
 
 // addStateTask registers a compiled state task under its key.
 func addStateTask(reg *exec.TaskRegistry, st canonical.State, key string) int {
-	return reg.Add(key, func(bind func(string) (exec.Accessor, error)) (exec.Task, error) {
-		return exec.NewStateTask(st, bind)
+	return reg.Add(key, func(b exec.Binder) (exec.Task, error) {
+		return exec.NewStateTask(st, b)
 	})
 }
 
@@ -445,17 +473,17 @@ func (s *Session) baselineFinisher(call *expr.Call, reg *exec.TaskRegistry) (exe
 		if len(call.Args) != wantArgs {
 			return nil, fmt.Errorf("%s takes %d argument(s), got %d", call.Name, wantArgs, len(call.Args))
 		}
-		idx := reg.Add("builtin:"+call.String(), func(bind func(string) (exec.Accessor, error)) (exec.Task, error) {
+		idx := reg.Add("builtin:"+call.String(), func(b exec.Binder) (exec.Task, error) {
 			bt := &exec.BuiltinTask{Kind: kind, Lbl: call.Name}
 			if len(call.Args) > 0 {
-				in, err := exec.CompileExpr(call.Args[0], bind)
+				in, err := exec.CompileExpr(call.Args[0], b.Bind)
 				if err != nil {
 					return nil, err
 				}
 				bt.In = in
 			}
 			if len(call.Args) > 1 {
-				in2, err := exec.CompileExpr(call.Args[1], bind)
+				in2, err := exec.CompileExpr(call.Args[1], b.Bind)
 				if err != nil {
 					return nil, err
 				}
@@ -467,7 +495,7 @@ func (s *Session) baselineFinisher(call *expr.Call, reg *exec.TaskRegistry) (exe
 	}
 	form, ok := s.UDAF(call.Name)
 	if !ok {
-		return nil, fmt.Errorf("unknown aggregate %q", call.Name)
+		return nil, fmt.Errorf("%w %q", errs.ErrUnknownUDAF, call.Name)
 	}
 	if form.HardT != nil {
 		// Hardcoded-terminating-function aggregates (the approx quantile
@@ -475,8 +503,8 @@ func (s *Session) baselineFinisher(call *expr.Call, reg *exec.TaskRegistry) (exe
 		// percentile_approx): compiled state loops, not interpreted.
 		return s.nativeFormFinisher(form, call, reg)
 	}
-	idx := reg.Add("naive:"+call.String(), func(bind func(string) (exec.Accessor, error)) (exec.Task, error) {
-		return exec.NewNaiveUDAFTask(form, call, bind)
+	idx := reg.Add("naive:"+call.String(), func(b exec.Binder) (exec.Task, error) {
+		return exec.NewNaiveUDAFTask(form, call, b.Bind)
 	})
 	return func(vals [][]float64, g int) float64 { return vals[idx][g] }, nil
 }
@@ -529,7 +557,7 @@ func (s *Session) formFor(name string) (*canonical.Form, error) {
 	}
 	body, params := builtinFormDef(name)
 	if body == "" {
-		return nil, fmt.Errorf("unknown aggregate %q", name)
+		return nil, fmt.Errorf("%w %q", errs.ErrUnknownUDAF, name)
 	}
 	f, err := canonical.Decompose(name, params, expr.MustParse(body))
 	if err != nil {

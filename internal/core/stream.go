@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"sudaf/internal/exec"
+	"sudaf/internal/storage"
+)
+
+// QueryBatches runs a SELECT statement and returns a cursor over the
+// result in fixed-size column batches (exec.BatchSize rows each), so
+// large outputs can be consumed incrementally instead of walking one
+// monolithic table. The cursor's batches are zero-copy views of the
+// result columns.
+func (s *Session) QueryBatches(ctx context.Context, sql string, mode Mode) (*BatchCursor, error) {
+	res, err := s.QueryContext(ctx, sql, mode)
+	if err != nil {
+		return nil, err
+	}
+	return res.Batches(exec.BatchSize), nil
+}
+
+// BatchCursor iterates a query result batch by batch. Use as:
+//
+//	cur, err := eng.QueryBatches(ctx, sql, mode)
+//	for cur.Next() {
+//	    b := cur.Batch() // *storage.Table view, ≤ BatchSize rows
+//	    ...
+//	}
+//	err = cur.Err()
+type BatchCursor struct {
+	res    *Result
+	size   int
+	pos    int
+	batch  *storage.Table
+	closed bool
+	err    error
+}
+
+// Batches returns a cursor over the result in batches of size rows
+// (size ≤ 0 uses exec.BatchSize). Batches are zero-copy column views.
+func (r *Result) Batches(size int) *BatchCursor {
+	if size <= 0 {
+		size = exec.BatchSize
+	}
+	return &BatchCursor{res: r, size: size}
+}
+
+// Next advances to the next batch; it returns false when the result is
+// exhausted or the cursor is closed.
+func (c *BatchCursor) Next() bool {
+	if c.closed || c.err != nil {
+		return false
+	}
+	n := c.res.Table.NumRows()
+	if c.pos >= n {
+		c.batch = nil
+		return false
+	}
+	hi := c.pos + c.size
+	if hi > n {
+		hi = n
+	}
+	c.batch = c.res.Table.Slice(c.pos, hi)
+	c.pos = hi
+	return true
+}
+
+// Batch returns the current batch: a table view with the result's columns
+// and at most the cursor's batch size rows. Valid until the next call to
+// Next.
+func (c *BatchCursor) Batch() *storage.Table { return c.batch }
+
+// Err returns the first error encountered while iterating (always nil
+// for cursors over a materialized result; kept for forward compatibility
+// with pipelined execution).
+func (c *BatchCursor) Err() error { return c.err }
+
+// Close releases the cursor; Next returns false afterwards. Closing is
+// idempotent.
+func (c *BatchCursor) Close() error {
+	c.closed = true
+	c.batch = nil
+	return nil
+}
+
+// Result returns the full query result backing the cursor (row counts,
+// cache hit flags, degradation events).
+func (c *BatchCursor) Result() *Result { return c.res }
+
+// Rows returns a row iterator over the result, built on the batch cursor:
+//
+//	it := res.Rows()
+//	for it.Next() {
+//	    v := it.Float(1)
+//	}
+func (r *Result) Rows() *RowIter {
+	return &RowIter{cur: r.Batches(0), row: -1}
+}
+
+// RowIter iterates a result row by row over the underlying batches.
+type RowIter struct {
+	cur   *BatchCursor
+	batch *storage.Table
+	row   int
+}
+
+// Next advances to the next row, fetching the next batch as needed.
+func (it *RowIter) Next() bool {
+	it.row++
+	for it.batch == nil || it.row >= it.batch.NumRows() {
+		if !it.cur.Next() {
+			it.batch = nil
+			return false
+		}
+		it.batch = it.cur.Batch()
+		it.row = 0
+	}
+	return true
+}
+
+// Columns returns the result column names.
+func (it *RowIter) Columns() []string {
+	cols := it.cur.res.Table.Cols
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// NumCols returns the number of result columns.
+func (it *RowIter) NumCols() int { return len(it.cur.res.Table.Cols) }
+
+// Float returns column col of the current row as float64 (dictionary
+// columns yield their code).
+func (it *RowIter) Float(col int) float64 {
+	return it.batch.Cols[col].AsFloat(it.row)
+}
+
+// String returns column col of the current row rendered as text.
+func (it *RowIter) String(col int) string {
+	c := it.batch.Cols[col]
+	if c.Kind == storage.KindString {
+		return c.StringAt(it.row)
+	}
+	return fmt.Sprint(c.AsFloat(it.row))
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"sudaf/internal/faultinject"
 	"sudaf/internal/storage"
@@ -36,6 +37,28 @@ type Task interface {
 	Merge(dst, src Partial, remap []int32)
 	// Finalize extracts the per-group result values.
 	Finalize(p Partial, ngroups int) []float64
+}
+
+// VecState is a worker-private scratch area for a vectorized task: batch
+// buffers and compiled fillers that must not be shared between goroutines.
+// It carries no accumulation state — all per-group state stays in the
+// Partial, so results are independent of which worker ran which morsel.
+type VecState interface{}
+
+// VectorTask is the optional batch-kernel extension of Task. A task that
+// implements it is driven one BatchSize chunk at a time through
+// AccumulateVec; tasks that don't (or whose NewVecState returns nil — the
+// shape or bindings didn't admit a kernel) fall back to the scalar
+// Accumulate. AccumulateVec must compute exactly what Accumulate computes,
+// in the same row order per group, so the two paths agree bit for bit.
+type VectorTask interface {
+	Task
+	// NewVecState allocates one worker's scratch, or nil to decline
+	// vectorized execution for this query.
+	NewVecState() VecState
+	// AccumulateVec folds rows [lo, hi) (hi-lo ≤ BatchSize) with group
+	// assignments gids, using vs as scratch.
+	AccumulateVec(vs VecState, p Partial, lo, hi int, gids []int32)
 }
 
 // GroupResult is the output of aggregation: group keys plus one value
@@ -74,25 +97,23 @@ func (gr *GroupResult) materializeKeys(groupBy []planCol) {
 	}
 }
 
-// aggregate folds all tasks over the joined rows, in parallel when the
-// engine has multiple workers, merging per-partition partials (IUME).
+// aggregate folds all tasks over the joined rows with morsel-driven
+// parallelism: workers claim MorselRows-row morsels from a shared atomic
+// cursor, aggregate each morsel into morsel-local partials one BatchSize
+// batch at a time (vectorized kernels when the task provides them), and
+// the morsel partials are merged in morsel-index order — so the result,
+// including group order and floating-point rounding, is identical for any
+// worker count and any scheduling interleaving.
 //
-// Each worker processes its partition in blocks of cancelCheckRows rows,
-// polling ctx between blocks (cooperative cancellation) and recovering
-// panics — a faulty task or accessor becomes an error joined at the
-// merge barrier instead of killing the process.
+// Cancellation is polled once per batch, injected faults fire once per
+// morsel (the batch-granularity analogue of PR 1's per-worker fault
+// point), and a panicking task poisons only its morsel: the recover turns
+// it into an error joined at the merge barrier, and the shared abort flag
+// stops the other workers from claiming further morsels.
 func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks []Task) (*GroupResult, error) {
 	keyFns := make([]func(int32) int64, len(dp.groupBy))
 	for i, g := range dp.groupBy {
 		keyFns[i] = rs.bindInt(g)
-	}
-
-	workers := e.Workers
-	if workers > rs.n/2048+1 {
-		workers = rs.n/2048 + 1
-	}
-	if workers < 1 {
-		workers = 1
 	}
 
 	// When both key columns fit in 32 bits the composite key packs into a
@@ -111,123 +132,92 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 		partials []Partial
 		err      error
 	}
-	locals := make([]*localAgg, workers)
-	chunk := (rs.n + workers - 1) / workers
+	nMorsels := (rs.n + MorselRows - 1) / MorselRows
+	locals := make([]*localAgg, nMorsels)
+
+	workers := e.Workers
+	if workers > nMorsels {
+		workers = nMorsels
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Which tasks run vectorized: resolved once, vec scratch allocated per
+	// worker (tasks are shared across workers; VecStates must not be).
+	vecTasks := make([]VectorTask, len(tasks))
+	if !e.DisableVectorKernels {
+		for t, task := range tasks {
+			if vt, ok := task.(VectorTask); ok {
+				vecTasks[t] = vt
+			}
+		}
+	}
+
+	// Dense group-id assignment: when the key columns span a small integer
+	// domain (int columns via their cached min/max stats, string columns
+	// via their dictionary size), group ids come from an array lookup
+	// instead of a hash probe per row. Part of the batch machinery, so the
+	// DisableVectorKernels knob turns it off with the kernels.
+	lookupLen := 0
+	var denseBase0, denseBase1, denseWidth1 int64
+	var denseInts []int64
+	var denseCodes []int32
+	var denseRows []int32
+	if !e.DisableVectorKernels {
+		switch {
+		case len(dp.groupBy) == 1:
+			if d := keyDomainOf(dp.groupBy[0].col); d.dense {
+				lookupLen, denseBase0 = int(d.width), d.base
+				g := dp.groupBy[0]
+				denseInts, denseCodes = g.col.I, g.col.Codes
+				denseRows = rs.vecs[g.table.Name]
+			}
+		case packable:
+			d0, d1 := keyDomainOf(dp.groupBy[0].col), keyDomainOf(dp.groupBy[1].col)
+			if d0.dense && d1.dense && d0.width*d1.width <= maxDenseKeyWidth {
+				lookupLen = int(d0.width * d1.width)
+				denseBase0, denseBase1, denseWidth1 = d0.base, d1.base, d1.width
+			}
+		}
+	}
+
+	var cursor atomic.Int64
+	var abort atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > rs.n {
-			hi = rs.n
-		}
-		if lo > hi {
-			lo = hi
-		}
-		la := &localAgg{index: map[GroupKey]int32{}, partials: make([]Partial, len(tasks))}
-		locals[w] = la
 		wg.Add(1)
-		go func(lo, hi int, la *localAgg) {
+		go func() {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					la.err = fmt.Errorf("aggregation worker panic (recovered): %v", r)
-				}
-			}()
-			if hi == lo {
-				return
-			}
-			if err := faultinject.Hit(faultinject.PointExecWorker); err != nil {
-				la.err = err
-				return
-			}
-			// assignBlock maps rows [blo, bhi) to partition-local group ids,
-			// keeping the dedup index alive across blocks.
-			var assignBlock func(blo, bhi int, gids []int32)
-			switch {
-			case len(keyFns) == 0:
-				la.keys = append(la.keys, GroupKey{})
-				la.index[GroupKey{}] = 0
-				assignBlock = func(blo, bhi int, gids []int32) {
-					for i := range gids {
-						gids[i] = 0
-					}
-				}
-			case len(keyFns) == 1:
-				fn := keyFns[0]
-				idx := make(map[int64]int32, 256)
-				assignBlock = func(blo, bhi int, gids []int32) {
-					for i := blo; i < bhi; i++ {
-						k := fn(int32(i))
-						gid, ok := idx[k]
-						if !ok {
-							gid = int32(len(la.keys))
-							idx[k] = gid
-							la.keys = append(la.keys, GroupKey{k, 0})
-							la.index[GroupKey{k, 0}] = gid
-						}
-						gids[i-blo] = gid
-					}
-				}
-			case packable:
-				f0, f1 := keyFns[0], keyFns[1]
-				idx := make(map[int64]int32, 256)
-				assignBlock = func(blo, bhi int, gids []int32) {
-					for i := blo; i < bhi; i++ {
-						a, b := f0(int32(i)), f1(int32(i))
-						k := a<<32 | b
-						gid, ok := idx[k]
-						if !ok {
-							gid = int32(len(la.keys))
-							idx[k] = gid
-							la.keys = append(la.keys, GroupKey{a, b})
-							la.index[GroupKey{a, b}] = gid
-						}
-						gids[i-blo] = gid
-					}
-				}
-			default:
-				assignBlock = func(blo, bhi int, gids []int32) {
-					var key GroupKey
-					for i := blo; i < bhi; i++ {
-						for k, fn := range keyFns {
-							key[k] = fn(int32(i))
-						}
-						gid, ok := la.index[key]
-						if !ok {
-							gid = int32(len(la.keys))
-							la.index[key] = gid
-							la.keys = append(la.keys, key)
-						}
-						gids[i-blo] = gid
-					}
+			// Worker-private batch scratch: group ids for one batch, plus
+			// each vectorized task's kernel buffers.
+			gids := make([]int32, BatchSize)
+			vecStates := make([]VecState, len(tasks))
+			for t, vt := range vecTasks {
+				if vt != nil {
+					vecStates[t] = vt.NewVecState()
 				}
 			}
-			block := cancelCheckRows
-			if block > hi-lo {
-				block = hi - lo
+			var lookup []int32
+			if lookupLen > 0 {
+				lookup = make([]int32, lookupLen)
 			}
-			gids := make([]int32, block)
-			for blo := lo; blo < hi; blo += cancelCheckRows {
-				if err := ctx.Err(); err != nil {
-					la.err = err
+			dense := denseKeys{lookup: lookup, base0: denseBase0, base1: denseBase1, width1: denseWidth1,
+				ints: denseInts, codes: denseCodes, rows: denseRows}
+			for !abort.Load() {
+				m := int(cursor.Add(1)) - 1
+				if m >= nMorsels {
 					return
 				}
-				bhi := blo + cancelCheckRows
-				if bhi > hi {
-					bhi = hi
-				}
-				bg := gids[:bhi-blo]
-				assignBlock(blo, bhi, bg)
-				ng := len(la.keys)
-				for t, task := range tasks {
-					if la.partials[t] == nil {
-						la.partials[t] = task.NewPartial(ng)
-					} else {
-						la.partials[t] = task.Grow(la.partials[t], ng)
-					}
-					task.Accumulate(la.partials[t], blo, bhi, bg)
+				la := &localAgg{index: map[GroupKey]int32{}, partials: make([]Partial, len(tasks))}
+				locals[m] = la
+				la.err = e.runMorsel(ctx, rs, tasks, vecTasks, vecStates, keyFns, packable, dense, m, gids, la.index, &la.keys, la.partials)
+				if la.err != nil {
+					abort.Store(true)
+					return
 				}
 			}
-		}(lo, hi, la)
+		}()
 	}
 	wg.Wait()
 
@@ -249,7 +239,9 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 		return nil, err
 	}
 
-	// Merge partitions in worker order (deterministic group order).
+	// Merge morsel partials in morsel-index order: group order equals
+	// first appearance in global row order, exactly as a serial scan would
+	// produce, regardless of which worker ran which morsel.
 	gr := &GroupResult{Rows: rs.n}
 	globalIndex := map[GroupKey]int32{}
 	var globalKeys []GroupKey
@@ -298,6 +290,238 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 	}
 	gr.materializeKeys(dp.groupBy)
 	return gr, nil
+}
+
+// maxDenseKeyWidth bounds the per-worker dense group-lookup table (one
+// int32 per possible key): 64K entries = 256 KiB, comfortably cache- and
+// allocation-cheap next to a 64K-row morsel.
+const maxDenseKeyWidth = 1 << 16
+
+// keyDomain describes a group-key column whose values provably fall in a
+// small integer range [base, base+width), enabling array-indexed group-id
+// assignment instead of a hash probe per row.
+type keyDomain struct {
+	base  int64
+	width int64
+	dense bool
+}
+
+// keyDomainOf classifies a group-key column: int columns use their cached
+// min/max stats, dictionary-coded string columns their code range. Float
+// keys (truncated to int64 by bindInt) stay on the hash path.
+func keyDomainOf(col *storage.Column) keyDomain {
+	switch col.Kind {
+	case storage.KindInt:
+		if len(col.I) == 0 {
+			return keyDomain{}
+		}
+		min, max := col.Stats()
+		w := int64(max) - int64(min) + 1
+		if w > 0 && w <= maxDenseKeyWidth {
+			return keyDomain{base: int64(min), width: w, dense: true}
+		}
+	case storage.KindString:
+		if n := int64(col.DictSize()); n > 0 && n <= maxDenseKeyWidth {
+			return keyDomain{base: 0, width: n, dense: true}
+		}
+	}
+	return keyDomain{}
+}
+
+// denseKeys is a worker's dense group-assignment scratch: a lookup table
+// of morsel-local group ids (reset per morsel), plus the key-space
+// geometry. A nil lookup means hash assignment. For the single-key case
+// ints/codes+rows carry the key column's backing storage so the assign
+// loop reads it directly instead of calling an accessor closure per row.
+type denseKeys struct {
+	lookup       []int32
+	base0, base1 int64
+	width1       int64
+	ints         []int64
+	codes        []int32
+	rows         []int32
+}
+
+// runMorsel aggregates rows [m*MorselRows, min((m+1)*MorselRows, n)) into
+// morsel-local partials, one batch at a time. gids, vecStates and dense
+// are the calling worker's scratch; index/keys/partials belong to the
+// morsel. Panics from task code are recovered into the returned error.
+func (e *Engine) runMorsel(ctx context.Context, rs *RowSet, tasks []Task,
+	vecTasks []VectorTask, vecStates []VecState,
+	keyFns []func(int32) int64, packable bool, dense denseKeys, m int, gids []int32,
+	index map[GroupKey]int32, keys *[]GroupKey, partials []Partial) (err error) {
+
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("aggregation worker panic (recovered): %v", r)
+		}
+	}()
+	lo, hi := m*MorselRows, (m+1)*MorselRows
+	if hi > rs.n {
+		hi = rs.n
+	}
+	if err := faultinject.Hit(faultinject.PointExecWorker); err != nil {
+		return err
+	}
+	if dense.lookup != nil {
+		// Group ids are morsel-local: empty the lookup for this morsel.
+		for i := range dense.lookup {
+			dense.lookup[i] = -1
+		}
+	}
+	// assignBlock maps rows [blo, bhi) to morsel-local group ids, keeping
+	// the dedup index alive across the morsel's batches.
+	var assignBlock func(blo, bhi int, gids []int32)
+	switch {
+	case len(keyFns) == 0:
+		*keys = append(*keys, GroupKey{})
+		index[GroupKey{}] = 0
+		assignBlock = func(blo, bhi int, gids []int32) {
+			for i := range gids {
+				gids[i] = 0
+			}
+		}
+	case len(keyFns) == 1 && dense.lookup != nil:
+		lookup, base := dense.lookup, dense.base0
+		// newGroup is the cold path: one call per distinct group per morsel.
+		newGroup := func(k int64) int32 {
+			gid := int32(len(*keys))
+			lookup[k-base] = gid
+			*keys = append(*keys, GroupKey{k, 0})
+			index[GroupKey{k, 0}] = gid
+			return gid
+		}
+		switch {
+		case dense.ints != nil:
+			v, rows := dense.ints, dense.rows
+			assignBlock = func(blo, bhi int, gids []int32) {
+				for i := blo; i < bhi; i++ {
+					k := v[rows[i]]
+					gid := lookup[k-base]
+					if gid < 0 {
+						gid = newGroup(k)
+					}
+					gids[i-blo] = gid
+				}
+			}
+		case dense.codes != nil:
+			c, rows := dense.codes, dense.rows
+			assignBlock = func(blo, bhi int, gids []int32) {
+				for i := blo; i < bhi; i++ {
+					k := int64(c[rows[i]])
+					gid := lookup[k-base]
+					if gid < 0 {
+						gid = newGroup(k)
+					}
+					gids[i-blo] = gid
+				}
+			}
+		default:
+			fn := keyFns[0]
+			assignBlock = func(blo, bhi int, gids []int32) {
+				for i := blo; i < bhi; i++ {
+					k := fn(int32(i))
+					gid := lookup[k-base]
+					if gid < 0 {
+						gid = newGroup(k)
+					}
+					gids[i-blo] = gid
+				}
+			}
+		}
+	case len(keyFns) == 1:
+		fn := keyFns[0]
+		idx := make(map[int64]int32, 256)
+		assignBlock = func(blo, bhi int, gids []int32) {
+			for i := blo; i < bhi; i++ {
+				k := fn(int32(i))
+				gid, ok := idx[k]
+				if !ok {
+					gid = int32(len(*keys))
+					idx[k] = gid
+					*keys = append(*keys, GroupKey{k, 0})
+					index[GroupKey{k, 0}] = gid
+				}
+				gids[i-blo] = gid
+			}
+		}
+	case packable && dense.lookup != nil:
+		f0, f1 := keyFns[0], keyFns[1]
+		lookup := dense.lookup
+		b0, b1, w1 := dense.base0, dense.base1, dense.width1
+		assignBlock = func(blo, bhi int, gids []int32) {
+			for i := blo; i < bhi; i++ {
+				a, b := f0(int32(i)), f1(int32(i))
+				gid := lookup[(a-b0)*w1+(b-b1)]
+				if gid < 0 {
+					gid = int32(len(*keys))
+					lookup[(a-b0)*w1+(b-b1)] = gid
+					*keys = append(*keys, GroupKey{a, b})
+					index[GroupKey{a, b}] = gid
+				}
+				gids[i-blo] = gid
+			}
+		}
+	case packable:
+		f0, f1 := keyFns[0], keyFns[1]
+		idx := make(map[int64]int32, 256)
+		assignBlock = func(blo, bhi int, gids []int32) {
+			for i := blo; i < bhi; i++ {
+				a, b := f0(int32(i)), f1(int32(i))
+				k := a<<32 | b
+				gid, ok := idx[k]
+				if !ok {
+					gid = int32(len(*keys))
+					idx[k] = gid
+					*keys = append(*keys, GroupKey{a, b})
+					index[GroupKey{a, b}] = gid
+				}
+				gids[i-blo] = gid
+			}
+		}
+	default:
+		assignBlock = func(blo, bhi int, gids []int32) {
+			var key GroupKey
+			for i := blo; i < bhi; i++ {
+				for k, fn := range keyFns {
+					key[k] = fn(int32(i))
+				}
+				gid, ok := index[key]
+				if !ok {
+					gid = int32(len(*keys))
+					index[key] = gid
+					*keys = append(*keys, key)
+				}
+				gids[i-blo] = gid
+			}
+		}
+	}
+	for blo := lo; blo < hi; blo += BatchSize {
+		// Cooperative cancellation at batch granularity.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		bhi := blo + BatchSize
+		if bhi > hi {
+			bhi = hi
+		}
+		bg := gids[:bhi-blo]
+		assignBlock(blo, bhi, bg)
+		ng := len(*keys)
+		for t, task := range tasks {
+			if partials[t] == nil {
+				partials[t] = task.NewPartial(ng)
+			} else {
+				partials[t] = task.Grow(partials[t], ng)
+			}
+			if vt := vecTasks[t]; vt != nil && vecStates[t] != nil {
+				vt.AccumulateVec(vecStates[t], partials[t], blo, bhi, bg)
+			} else {
+				task.Accumulate(partials[t], blo, bhi, bg)
+			}
+		}
+	}
+	return nil
 }
 
 // ---- float-array partial helpers ----
@@ -406,7 +630,9 @@ func (b *BuiltinTask) Accumulate(p Partial, lo, hi int, gids []int32) {
 		in := b.In
 		for i := lo; i < hi; i++ {
 			g := gids[i-lo]
-			if v := in(int32(i)); v < a[g] {
+			// v != v catches NaN: like math.Min, a NaN input poisons the
+			// group, so the result cannot depend on accumulation order.
+			if v := in(int32(i)); v < a[g] || v != v {
 				a[g] = v
 			}
 		}
@@ -415,7 +641,7 @@ func (b *BuiltinTask) Accumulate(p Partial, lo, hi int, gids []int32) {
 		in := b.In
 		for i := lo; i < hi; i++ {
 			g := gids[i-lo]
-			if v := in(int32(i)); v > a[g] {
+			if v := in(int32(i)); v > a[g] || v != v {
 				a[g] = v
 			}
 		}
@@ -448,13 +674,13 @@ func (b *BuiltinTask) Merge(dst, src Partial, remap []int32) {
 	switch b.Kind {
 	case BMin:
 		for g, v := range s.arrs[0] {
-			if v < d.arrs[0][remap[g]] {
+			if v < d.arrs[0][remap[g]] || v != v {
 				d.arrs[0][remap[g]] = v
 			}
 		}
 	case BMax:
 		for g, v := range s.arrs[0] {
-			if v > d.arrs[0][remap[g]] {
+			if v > d.arrs[0][remap[g]] || v != v {
 				d.arrs[0][remap[g]] = v
 			}
 		}

@@ -76,17 +76,17 @@ func runBuiltins(t *testing.T, e *Engine, sql string) *Result {
 		for ci, call := range calls {
 			kind, _ := LookupBuiltin(call.Name)
 			call := call
-			idx := reg.Add(call.String(), func(b func(string) (Accessor, error)) (Task, error) {
+			idx := reg.Add(call.String(), func(b Binder) (Task, error) {
 				bt := &BuiltinTask{Kind: kind, Lbl: call.Name}
 				if len(call.Args) > 0 {
-					in, err := CompileExpr(call.Args[0], b)
+					in, err := CompileExpr(call.Args[0], b.Bind)
 					if err != nil {
 						return nil, err
 					}
 					bt.In = in
 				}
 				if len(call.Args) > 1 {
-					in2, err := CompileExpr(call.Args[1], b)
+					in2, err := CompileExpr(call.Args[1], b.Bind)
 					if err != nil {
 						return nil, err
 					}
@@ -220,11 +220,11 @@ func TestStateTaskMatchesBuiltin(t *testing.T) {
 		F:    mustChain(t, "x^2"),
 		Base: expr.MustParse("price")}
 	reg := NewTaskRegistry()
-	reg.Add(st.Key(), func(b func(string) (Accessor, error)) (Task, error) {
+	reg.Add(st.Key(), func(b Binder) (Task, error) {
 		return NewStateTask(st, b)
 	})
 	cnt := canonical.State{Op: canonical.OpCount, Base: &expr.Num{Val: 1}}
-	reg.Add(cnt.Key(), func(b func(string) (Accessor, error)) (Task, error) {
+	reg.Add(cnt.Key(), func(b Binder) (Task, error) {
 		return NewStateTask(cnt, b)
 	})
 	gr, err := e.RunSpecs(context.Background(), dp, reg)
@@ -276,8 +276,8 @@ func TestNaiveUDAFTaskMatchesDirect(t *testing.T) {
 	}
 	call := &expr.Call{Name: "qm", Args: []expr.Node{&expr.Var{Name: "price"}}}
 	reg := NewTaskRegistry()
-	reg.Add("naive:qm", func(b func(string) (Accessor, error)) (Task, error) {
-		return NewNaiveUDAFTask(form, call, b)
+	reg.Add("naive:qm", func(b Binder) (Task, error) {
+		return NewNaiveUDAFTask(form, call, b.Bind)
 	})
 	gr, err := e.RunSpecs(context.Background(), dp, reg)
 	if err != nil {

@@ -19,6 +19,11 @@ type Engine struct {
 	// Workers is the parallelism degree: 1 models the single-threaded
 	// PostgreSQL setting, runtime.NumCPU() the Spark cluster setting.
 	Workers int
+	// DisableVectorKernels forces every task onto the tuple-at-a-time
+	// Accumulate path even when it implements VectorTask. Used by the
+	// kernel benchmarks and the batch≡tuple differential tests; results
+	// are identical either way, only throughput differs.
+	DisableVectorKernels bool
 }
 
 // NewEngine creates an engine; workers < 1 defaults to all CPUs.

@@ -27,8 +27,8 @@ func runAgg(t *testing.T, e *Engine, ctx context.Context, sql string) error {
 		t.Fatal(err)
 	}
 	reg := NewTaskRegistry()
-	reg.Add("sum", func(b func(string) (Accessor, error)) (Task, error) {
-		in, err := CompileExpr(mustParseExpr(t, "price"), b)
+	reg.Add("sum", func(b Binder) (Task, error) {
+		in, err := CompileExpr(mustParseExpr(t, "price"), b.Bind)
 		if err != nil {
 			return nil, err
 		}

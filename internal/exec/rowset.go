@@ -33,6 +33,18 @@ func (rs *RowSet) Bind(name string) (Accessor, error) {
 	return nil, fmt.Errorf("unknown column %q", name)
 }
 
+// BindColumn resolves a column name to its physical column and row
+// indirection vector, the raw material of the vectorized batch kernels.
+// Together with Bind this makes *RowSet implement Binder.
+func (rs *RowSet) BindColumn(name string) (*storage.Column, []int32, error) {
+	for _, t := range rs.tables {
+		if c := t.Col(name); c != nil {
+			return c, rs.vecs[t.Name], nil
+		}
+	}
+	return nil, nil, fmt.Errorf("unknown column %q", name)
+}
+
 // bindInt resolves a group-key accessor.
 func (rs *RowSet) bindInt(pc planCol) func(int32) int64 {
 	return intAccessor(pc.col, rs.vecs[pc.table.Name])

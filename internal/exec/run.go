@@ -7,13 +7,16 @@ import (
 	"sort"
 	"strings"
 
+	"sudaf/internal/errs"
 	"sudaf/internal/expr"
 	"sudaf/internal/sqlparse"
 	"sudaf/internal/storage"
 )
 
 // TaskSpec builds a Task once the joined row set's column binder exists.
-type TaskSpec func(bind func(string) (Accessor, error)) (Task, error)
+// The Binder gives both scalar accessors and physical column access, so
+// specs can compile vectorized kernels where the shape allows.
+type TaskSpec func(b Binder) (Task, error)
 
 // TaskRegistry deduplicates tasks by key: two aggregate calls needing the
 // same computation (e.g. the count() of avg and of stddev) run it once.
@@ -60,7 +63,7 @@ func (e *Engine) RunSpecs(ctx context.Context, dp *DataPlan, reg *TaskRegistry) 
 	}
 	tasks := make([]Task, len(reg.specs))
 	for i, spec := range reg.specs {
-		t, err := spec(rs.Bind)
+		t, err := spec(rs)
 		if err != nil {
 			return nil, err
 		}
@@ -191,8 +194,8 @@ func BuildOutput(ctx context.Context, stmt *sqlparse.Stmt, dp *DataPlan, gr *Gro
 			v := fin(gr.Values, g)
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				if out.Numeric == NumericStrict {
-					return nil, fmt.Errorf("aggregate %s: numeric domain fault (%v) in group %d (strict numeric policy)",
-						out.label(p), v, g)
+					return nil, fmt.Errorf("aggregate %s: %w (%v) in group %d (strict numeric policy)",
+						out.label(p), errs.ErrNumericFault, v, g)
 				}
 				numericFaults++
 			}
@@ -256,8 +259,8 @@ func BuildOutput(ctx context.Context, stmt *sqlparse.Stmt, dp *DataPlan, gr *Gro
 			}
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				if out.Numeric == NumericStrict {
-					return nil, fmt.Errorf("select item %q: numeric domain fault (%v) in group %d (strict numeric policy)",
-						name, v, g)
+					return nil, fmt.Errorf("select item %q: %w (%v) in group %d (strict numeric policy)",
+						name, errs.ErrNumericFault, v, g)
 				}
 				numericFaults++
 			}

@@ -87,7 +87,7 @@ func TestDisconnectedJoinFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := NewTaskRegistry()
-	reg.Add("count", func(b func(string) (Accessor, error)) (Task, error) {
+	reg.Add("count", func(b Binder) (Task, error) {
 		return &BuiltinTask{Kind: BCount, Lbl: "count"}, nil
 	})
 	if _, err := e.RunSpecs(context.Background(), dp, reg); err == nil {
@@ -142,7 +142,7 @@ func TestStringGroupKey(t *testing.T) {
 
 func TestTaskRegistryDedup(t *testing.T) {
 	reg := NewTaskRegistry()
-	mk := func(bind func(string) (Accessor, error)) (Task, error) {
+	mk := func(bind Binder) (Task, error) {
 		return &BuiltinTask{Kind: BCount, Lbl: "c"}, nil
 	}
 	i1 := reg.Add("k1", mk)

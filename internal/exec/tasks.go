@@ -6,42 +6,298 @@ import (
 
 	"sudaf/internal/canonical"
 	"sudaf/internal/expr"
+	"sudaf/internal/storage"
 )
 
 // StateTask computes one SUDAF aggregation state with compiled loops:
 // base expression and scalar chain are closures, the merge operation is
 // monomorphic per AggOp. This is the "rewritten using built-in functions"
 // execution path of the paper (queries RQ1/RQ2).
+//
+// It is also a VectorTask: NewStateTask classifies the state into a batch
+// kernel (canonical.SelectKernel) and AccumulateVec runs the matching
+// fused loop — direct column indexing for float columns, gather-then-loop
+// otherwise, and a compiled batch filler for generic bases. Both paths
+// visit rows in the same order per group, so they agree bit for bit.
 type StateTask struct {
 	State canonical.State // bound state (base over real columns)
 	Lbl   string
 	in    Accessor              // compiled base expression (nil for count)
 	fn    func(float64) float64 // compiled chain (nil for identity)
+
+	// Vectorized execution plan (vecOK false means scalar-only).
+	plan        canonical.KernelPlan
+	col, col2   *storage.Column // fused-kernel inputs
+	rows, rows2 []int32         // per-column row indirection vectors
+	fillerFac   VecFillerFactory
+	vecOK       bool
 }
 
 // NewStateTask compiles a bound state against a row binder.
-func NewStateTask(st canonical.State, bind func(string) (Accessor, error)) (*StateTask, error) {
+func NewStateTask(st canonical.State, b Binder) (*StateTask, error) {
 	t := &StateTask{State: st, Lbl: st.Key()}
-	if st.Op == canonical.OpCount {
-		return t, nil
-	}
-	in, err := CompileExpr(st.Base, bind)
-	if err != nil {
-		return nil, fmt.Errorf("state %s: %w", st.Key(), err)
-	}
-	t.in = in
-	chain := st.F.NormalizeReal()
-	if !chain.IsIdentity() {
-		fn, err := chain.Compile()
+	if st.Op != canonical.OpCount {
+		in, err := CompileExpr(st.Base, b.Bind)
 		if err != nil {
 			return nil, fmt.Errorf("state %s: %w", st.Key(), err)
 		}
-		t.fn = fn
+		t.in = in
+		chain := st.F.NormalizeReal()
+		if !chain.IsIdentity() {
+			fn, err := chain.Compile()
+			if err != nil {
+				return nil, fmt.Errorf("state %s: %w", st.Key(), err)
+			}
+			t.fn = fn
+		}
 	}
+	t.compileKernel(b)
 	return t, nil
 }
 
+// compileKernel resolves the vectorized plan. Failures here are never
+// errors: the scalar path always works, so an unbindable column or an
+// uncompilable base just leaves vecOK false.
+func (t *StateTask) compileKernel(b Binder) {
+	t.plan = t.State.SelectKernel()
+	switch t.plan.Class {
+	case canonical.KernelCount:
+		t.vecOK = true
+	case canonical.KernelSumCol, canonical.KernelSumPow, canonical.KernelProdCol,
+		canonical.KernelMinCol, canonical.KernelMaxCol:
+		col, rows, err := b.BindColumn(t.plan.Col)
+		if err != nil {
+			return
+		}
+		t.col, t.rows, t.vecOK = col, rows, true
+	case canonical.KernelSumMul:
+		col, rows, err := b.BindColumn(t.plan.Col)
+		if err != nil {
+			return
+		}
+		col2, rows2, err := b.BindColumn(t.plan.Col2)
+		if err != nil {
+			return
+		}
+		t.col, t.col2, t.rows, t.rows2, t.vecOK = col, col2, rows, rows2, true
+	default: // KernelGeneric
+		fac, err := CompileVecFiller(t.State.Base, b)
+		if err != nil {
+			return
+		}
+		t.fillerFac = fac
+		t.vecOK = true
+	}
+}
+
 func (t *StateTask) Name() string { return t.Lbl }
+
+// stateVecState is one worker's kernel scratch: gather buffers for
+// non-float columns and the compiled batch filler for generic bases.
+type stateVecState struct {
+	buf  []float64
+	buf2 []float64
+	fill VecFiller
+}
+
+// NewVecState implements VectorTask. Returns nil when no kernel was
+// compiled, which routes this task to the scalar Accumulate.
+func (t *StateTask) NewVecState() VecState {
+	if !t.vecOK {
+		return nil
+	}
+	vs := &stateVecState{}
+	switch t.plan.Class {
+	case canonical.KernelCount:
+		// No input, no scratch.
+	case canonical.KernelGeneric:
+		vs.buf = make([]float64, BatchSize)
+		vs.fill = t.fillerFac()
+	case canonical.KernelSumMul:
+		if t.col.Kind != storage.KindFloat || t.col2.Kind != storage.KindFloat {
+			vs.buf = make([]float64, BatchSize)
+			vs.buf2 = make([]float64, BatchSize)
+		}
+	default:
+		if t.col.Kind != storage.KindFloat {
+			vs.buf = make([]float64, BatchSize)
+		}
+	}
+	return vs
+}
+
+// AccumulateVec implements VectorTask: one fused loop per kernel class.
+// Float columns are indexed directly through the row vector; other kinds
+// gather into the worker's batch buffer first. Every loop folds rows in
+// ascending order, so per-group accumulation order — and therefore
+// floating-point rounding — matches the scalar path exactly.
+func (t *StateTask) AccumulateVec(vsi VecState, p Partial, lo, hi int, gids []int32) {
+	a := p.(*floatsPartial).arrs[0]
+	vs := vsi.(*stateVecState)
+	n := hi - lo
+	switch t.plan.Class {
+	case canonical.KernelCount:
+		for _, g := range gids[:n] {
+			a[g]++
+		}
+	case canonical.KernelSumCol:
+		if t.col.Kind == storage.KindFloat {
+			f, rows := t.col.F, t.rows
+			for i := lo; i < hi; i++ {
+				a[gids[i-lo]] += f[rows[i]]
+			}
+		} else {
+			buf := vs.buf[:n]
+			t.col.GatherFloats(t.rows, lo, hi, buf)
+			for j, g := range gids[:n] {
+				a[g] += buf[j]
+			}
+		}
+	case canonical.KernelSumPow:
+		switch t.plan.Pow {
+		case 2:
+			if t.col.Kind == storage.KindFloat {
+				f, rows := t.col.F, t.rows
+				for i := lo; i < hi; i++ {
+					v := f[rows[i]]
+					a[gids[i-lo]] += v * v
+				}
+			} else {
+				buf := vs.buf[:n]
+				t.col.GatherFloats(t.rows, lo, hi, buf)
+				for j, g := range gids[:n] {
+					v := buf[j]
+					a[g] += v * v
+				}
+			}
+		case 3:
+			if t.col.Kind == storage.KindFloat {
+				f, rows := t.col.F, t.rows
+				for i := lo; i < hi; i++ {
+					v := f[rows[i]]
+					a[gids[i-lo]] += v * v * v
+				}
+			} else {
+				buf := vs.buf[:n]
+				t.col.GatherFloats(t.rows, lo, hi, buf)
+				for j, g := range gids[:n] {
+					v := buf[j]
+					a[g] += v * v * v
+				}
+			}
+		default:
+			// k = 4 stays math.Pow to match Chain.Compile / CompileExpr
+			// bit for bit (x*x*x*x rounds differently).
+			k := float64(t.plan.Pow)
+			if t.col.Kind == storage.KindFloat {
+				f, rows := t.col.F, t.rows
+				for i := lo; i < hi; i++ {
+					a[gids[i-lo]] += math.Pow(f[rows[i]], k)
+				}
+			} else {
+				buf := vs.buf[:n]
+				t.col.GatherFloats(t.rows, lo, hi, buf)
+				for j, g := range gids[:n] {
+					a[g] += math.Pow(buf[j], k)
+				}
+			}
+		}
+	case canonical.KernelSumMul:
+		if t.col.Kind == storage.KindFloat && t.col2.Kind == storage.KindFloat {
+			f1, r1 := t.col.F, t.rows
+			f2, r2 := t.col2.F, t.rows2
+			for i := lo; i < hi; i++ {
+				a[gids[i-lo]] += f1[r1[i]] * f2[r2[i]]
+			}
+		} else {
+			buf, buf2 := vs.buf[:n], vs.buf2[:n]
+			t.col.GatherFloats(t.rows, lo, hi, buf)
+			t.col2.GatherFloats(t.rows2, lo, hi, buf2)
+			for j, g := range gids[:n] {
+				a[g] += buf[j] * buf2[j]
+			}
+		}
+	case canonical.KernelProdCol:
+		if t.col.Kind == storage.KindFloat {
+			f, rows := t.col.F, t.rows
+			for i := lo; i < hi; i++ {
+				a[gids[i-lo]] *= f[rows[i]]
+			}
+		} else {
+			buf := vs.buf[:n]
+			t.col.GatherFloats(t.rows, lo, hi, buf)
+			for j, g := range gids[:n] {
+				a[g] *= buf[j]
+			}
+		}
+	case canonical.KernelMinCol:
+		if t.col.Kind == storage.KindFloat {
+			f, rows := t.col.F, t.rows
+			for i := lo; i < hi; i++ {
+				g := gids[i-lo]
+				if v := f[rows[i]]; v < a[g] || v != v {
+					a[g] = v
+				}
+			}
+		} else {
+			buf := vs.buf[:n]
+			t.col.GatherFloats(t.rows, lo, hi, buf)
+			for j, g := range gids[:n] {
+				if v := buf[j]; v < a[g] || v != v {
+					a[g] = v
+				}
+			}
+		}
+	case canonical.KernelMaxCol:
+		if t.col.Kind == storage.KindFloat {
+			f, rows := t.col.F, t.rows
+			for i := lo; i < hi; i++ {
+				g := gids[i-lo]
+				if v := f[rows[i]]; v > a[g] || v != v {
+					a[g] = v
+				}
+			}
+		} else {
+			buf := vs.buf[:n]
+			t.col.GatherFloats(t.rows, lo, hi, buf)
+			for j, g := range gids[:n] {
+				if v := buf[j]; v > a[g] || v != v {
+					a[g] = v
+				}
+			}
+		}
+	default: // KernelGeneric: batch-eval the base, chain, then fold.
+		buf := vs.buf[:n]
+		vs.fill(lo, hi, buf)
+		if fn := t.fn; fn != nil {
+			for j := range buf {
+				buf[j] = fn(buf[j])
+			}
+		}
+		switch t.State.Op {
+		case canonical.OpSum:
+			for j, g := range gids[:n] {
+				a[g] += buf[j]
+			}
+		case canonical.OpProd:
+			for j, g := range gids[:n] {
+				a[g] *= buf[j]
+			}
+		case canonical.OpMin:
+			for j, g := range gids[:n] {
+				if v := buf[j]; v < a[g] || v != v {
+					a[g] = v
+				}
+			}
+		case canonical.OpMax:
+			for j, g := range gids[:n] {
+				if v := buf[j]; v > a[g] || v != v {
+					a[g] = v
+				}
+			}
+		}
+	}
+}
 
 func (t *StateTask) fill() float64 { return t.State.MergeIdentity() }
 
@@ -88,7 +344,9 @@ func (t *StateTask) Accumulate(p Partial, lo, hi int, gids []int32) {
 			if fn != nil {
 				v = fn(v)
 			}
-			if g := gids[i-lo]; v < a[g] {
+			// v != v catches NaN: poison the group like math.Min (and like
+			// State.Merge), so results don't depend on partitioning.
+			if g := gids[i-lo]; v < a[g] || v != v {
 				a[g] = v
 			}
 		}
@@ -99,7 +357,7 @@ func (t *StateTask) Accumulate(p Partial, lo, hi int, gids []int32) {
 			if fn != nil {
 				v = fn(v)
 			}
-			if g := gids[i-lo]; v > a[g] {
+			if g := gids[i-lo]; v > a[g] || v != v {
 				a[g] = v
 			}
 		}

@@ -1,0 +1,188 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// VecEnv supplies whole vectors of variable values to the batch
+// evaluator. All vectors bound by one env must have the same length.
+type VecEnv interface {
+	// Vector returns the values bound to name, and whether it is bound.
+	Vector(name string) ([]float64, bool)
+}
+
+// MapVecEnv is a VecEnv backed by a map.
+type MapVecEnv map[string][]float64
+
+// Vector implements VecEnv.
+func (m MapVecEnv) Vector(name string) ([]float64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// EvalBatch evaluates a scalar expression over n rows at once, writing
+// one result per row into out (which must have length n). It computes
+// exactly the same element-wise values as Eval on each row — the same
+// operators, the same scalar-function semantics, the same NaN/±Inf
+// propagation — just restructured as vector loops so the tree is walked
+// once per batch instead of once per tuple.
+func EvalBatch(node Node, env VecEnv, n int, out []float64) error {
+	if len(out) < n {
+		return fmt.Errorf("EvalBatch: out has %d slots for %d rows", len(out), n)
+	}
+	return evalBatch(node, env, n, out[:n], nil)
+}
+
+// evalBatch recursively evaluates into dst. scratch is a free buffer pool
+// threaded through the recursion so intermediate vectors are reused.
+func evalBatch(node Node, env VecEnv, n int, dst []float64, pool *[][]float64) error {
+	if pool == nil {
+		pool = &[][]float64{}
+	}
+	switch t := node.(type) {
+	case *Num:
+		for i := range dst {
+			dst[i] = t.Val
+		}
+		return nil
+	case *Var:
+		v, ok := env.Vector(t.Name)
+		if !ok {
+			return fmt.Errorf("unbound variable %q", t.Name)
+		}
+		if len(v) < n {
+			return fmt.Errorf("vector %q has %d rows, batch has %d", t.Name, len(v), n)
+		}
+		copy(dst, v[:n])
+		return nil
+	case *Neg:
+		if err := evalBatch(t.X, env, n, dst, pool); err != nil {
+			return err
+		}
+		for i := range dst {
+			dst[i] = -dst[i]
+		}
+		return nil
+	case *Bin:
+		if err := evalBatch(t.L, env, n, dst, pool); err != nil {
+			return err
+		}
+		tmp := borrow(pool, n)
+		defer release(pool, tmp)
+		if err := evalBatch(t.R, env, n, tmp, pool); err != nil {
+			return err
+		}
+		switch t.Op {
+		case '+':
+			for i := range dst {
+				dst[i] += tmp[i]
+			}
+		case '-':
+			for i := range dst {
+				dst[i] -= tmp[i]
+			}
+		case '*':
+			for i := range dst {
+				dst[i] *= tmp[i]
+			}
+		case '/':
+			for i := range dst {
+				dst[i] /= tmp[i]
+			}
+		case '^':
+			for i := range dst {
+				dst[i] = math.Pow(dst[i], tmp[i])
+			}
+		default:
+			return fmt.Errorf("unknown operator %q", t.Op)
+		}
+		return nil
+	case *Call:
+		if AggregateFuncs[t.Name] {
+			return fmt.Errorf("aggregate %s() cannot be evaluated as a scalar", t.Name)
+		}
+		arity, ok := ScalarFuncs[t.Name]
+		if !ok {
+			return fmt.Errorf("unknown scalar function %q", t.Name)
+		}
+		if len(t.Args) != arity {
+			return fmt.Errorf("%s expects %d args, got %d", t.Name, arity, len(t.Args))
+		}
+		if err := evalBatch(t.Args[0], env, n, dst, pool); err != nil {
+			return err
+		}
+		var second []float64
+		if arity == 2 {
+			second = borrow(pool, n)
+			defer release(pool, second)
+			if err := evalBatch(t.Args[1], env, n, second, pool); err != nil {
+				return err
+			}
+		}
+		switch t.Name {
+		case "sqrt":
+			for i := range dst {
+				dst[i] = math.Sqrt(dst[i])
+			}
+		case "cbrt":
+			for i := range dst {
+				dst[i] = math.Cbrt(dst[i])
+			}
+		case "ln":
+			for i := range dst {
+				dst[i] = math.Log(dst[i])
+			}
+		case "log":
+			// log(base, x) = ln(x)/ln(base); args[0] is the base.
+			for i := range dst {
+				dst[i] = math.Log(second[i]) / math.Log(dst[i])
+			}
+		case "exp":
+			for i := range dst {
+				dst[i] = math.Exp(dst[i])
+			}
+		case "abs":
+			for i := range dst {
+				dst[i] = math.Abs(dst[i])
+			}
+		case "sgn":
+			for i := range dst {
+				if dst[i] > 0 {
+					dst[i] = 1
+				} else if dst[i] < 0 {
+					dst[i] = -1
+				} else {
+					dst[i] = 0
+				}
+			}
+		case "pow":
+			for i := range dst {
+				dst[i] = math.Pow(dst[i], second[i])
+			}
+		case "inv":
+			for i := range dst {
+				dst[i] = 1 / dst[i]
+			}
+		default:
+			return fmt.Errorf("unknown scalar function %q", t.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("cannot evaluate %T", node)
+}
+
+func borrow(pool *[][]float64, n int) []float64 {
+	if k := len(*pool); k > 0 {
+		b := (*pool)[k-1]
+		*pool = (*pool)[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func release(pool *[][]float64, b []float64) {
+	*pool = append(*pool, b)
+}

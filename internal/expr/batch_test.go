@@ -1,0 +1,170 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genNode builds a random expression over variables x, y, z covering
+// every operator and scalar function the evaluators know.
+func genNode(rng *rand.Rand, depth int) Node {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			consts := []float64{0, 1, -1, 0.5, 2, 3, -2.5, 7, 1e-3, 1e6}
+			return &Num{Val: consts[rng.Intn(len(consts))]}
+		default:
+			names := []string{"x", "y", "z"}
+			return &Var{Name: names[rng.Intn(len(names))]}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return &Neg{X: genNode(rng, depth-1)}
+	case 1, 2, 3, 4:
+		ops := []byte{'+', '-', '*', '/', '^'}
+		op := ops[rng.Intn(len(ops))]
+		r := genNode(rng, depth-1)
+		if op == '^' && rng.Intn(2) == 0 {
+			// Exercise the strength-reduced exponents too.
+			pows := []float64{2, 3, -1, 0.5, 4}
+			r = &Num{Val: pows[rng.Intn(len(pows))]}
+		}
+		return &Bin{Op: op, L: genNode(rng, depth-1), R: r}
+	case 5, 6:
+		unary := []string{"sqrt", "cbrt", "ln", "exp", "abs", "sgn", "inv"}
+		return &Call{Name: unary[rng.Intn(len(unary))], Args: []Node{genNode(rng, depth-1)}}
+	default:
+		binary := []string{"log", "pow"}
+		return &Call{Name: binary[rng.Intn(len(binary))],
+			Args: []Node{genNode(rng, depth-1), genNode(rng, depth-1)}}
+	}
+}
+
+// genValue draws inputs that stress every numeric regime: ordinary
+// magnitudes, zeros, negatives, subnormals, and the IEEE specials.
+func genValue(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return 0
+	case 1:
+		return math.NaN()
+	case 2:
+		return math.Inf(1)
+	case 3:
+		return math.Inf(-1)
+	case 4:
+		return -rng.Float64() * 100
+	case 5:
+		return rng.Float64() * 1e-300
+	default:
+		return (rng.Float64() - 0.5) * 200
+	}
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestEvalBatchMatchesEval is the property test: for random expressions
+// and random batches (including NaN/±Inf/zero/negative inputs), EvalBatch
+// must produce bit-identical results to row-by-row Eval.
+func TestEvalBatchMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const rows = 257 // deliberately not a power of two
+	for trial := 0; trial < 500; trial++ {
+		node := genNode(rng, 1+rng.Intn(4))
+		vecs := MapVecEnv{
+			"x": make([]float64, rows),
+			"y": make([]float64, rows),
+			"z": make([]float64, rows),
+		}
+		for _, v := range vecs {
+			for i := range v {
+				v[i] = genValue(rng)
+			}
+		}
+		out := make([]float64, rows)
+		if err := EvalBatch(node, vecs, rows, out); err != nil {
+			t.Fatalf("trial %d: EvalBatch(%s): %v", trial, node.String(), err)
+		}
+		env := MapEnv{}
+		for i := 0; i < rows; i++ {
+			for name, v := range vecs {
+				env[name] = v[i]
+			}
+			want, err := Eval(node, env)
+			if err != nil {
+				t.Fatalf("trial %d: Eval(%s): %v", trial, node.String(), err)
+			}
+			if !sameBits(out[i], want) {
+				t.Fatalf("trial %d: %s row %d: batch %v (%#x), scalar %v (%#x)",
+					trial, node.String(), i, out[i], math.Float64bits(out[i]),
+					want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestEvalBatchErrors checks the failure contract: unbound variables,
+// short vectors, aggregates in scalar position, and undersized outputs
+// all surface as errors, never as silent partial writes.
+func TestEvalBatchErrors(t *testing.T) {
+	n := MustParse("x + y")
+	out := make([]float64, 4)
+	if err := EvalBatch(n, MapVecEnv{"x": make([]float64, 4)}, 4, out); err == nil {
+		t.Error("unbound variable should fail")
+	}
+	if err := EvalBatch(n, MapVecEnv{"x": make([]float64, 2), "y": make([]float64, 4)}, 4, out); err == nil {
+		t.Error("short vector should fail")
+	}
+	if err := EvalBatch(MustParse("sum(x)"), MapVecEnv{"x": make([]float64, 4)}, 4, out); err == nil {
+		t.Error("aggregate in scalar context should fail")
+	}
+	if err := EvalBatch(n, MapVecEnv{"x": make([]float64, 8), "y": make([]float64, 8)}, 8, out); err == nil {
+		t.Error("undersized out should fail")
+	}
+}
+
+// FuzzEvalBatchMatchesEval fuzzes expression text and a value triple:
+// whenever the expression parses and evaluates as a scalar, the batch
+// evaluator must agree bit for bit on a batch assembled from rotations of
+// the triple.
+func FuzzEvalBatchMatchesEval(f *testing.F) {
+	f.Add("x + y*z", 1.5, -2.0, 0.25)
+	f.Add("sqrt(x^2 + y^2)", 3.0, 4.0, 0.0)
+	f.Add("log(x, abs(y)+1) / (z - x)", 2.0, -7.0, 2.0)
+	f.Add("exp(ln(x)) - pow(y, z)", 0.1, 2.0, 10.0)
+	f.Add("inv(sgn(x)) + cbrt(y)", -5.0, 8.0, 1.0)
+	f.Fuzz(func(t *testing.T, src string, a, b, c float64) {
+		node, err := Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		vals := []float64{a, b, c}
+		const rows = 3
+		vecs := MapVecEnv{"x": make([]float64, rows), "y": make([]float64, rows), "z": make([]float64, rows)}
+		for i := 0; i < rows; i++ {
+			vecs["x"][i] = vals[i%3]
+			vecs["y"][i] = vals[(i+1)%3]
+			vecs["z"][i] = vals[(i+2)%3]
+		}
+		out := make([]float64, rows)
+		batchErr := EvalBatch(node, vecs, rows, out)
+		for i := 0; i < rows; i++ {
+			env := MapEnv{"x": vecs["x"][i], "y": vecs["y"][i], "z": vecs["z"][i]}
+			want, scalarErr := Eval(node, env)
+			if (batchErr != nil) != (scalarErr != nil) {
+				t.Fatalf("%q: batch err %v, scalar err %v", src, batchErr, scalarErr)
+			}
+			if batchErr != nil {
+				return
+			}
+			if !sameBits(out[i], want) {
+				t.Fatalf("%q row %d: batch %v, scalar %v", src, i, out[i], want)
+			}
+		}
+	})
+}

@@ -159,6 +159,48 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', 6, 64)
 }
 
+// GatherFloats writes the values of rows rows[lo:hi] into out[:hi-lo],
+// coerced to float64 (string columns yield their dictionary codes). The
+// loop is monomorphic per kind — this is the chunk-gather primitive of
+// the engine's batch kernels.
+func (c *Column) GatherFloats(rows []int32, lo, hi int, out []float64) {
+	switch c.Kind {
+	case KindFloat:
+		f := c.F
+		for i := lo; i < hi; i++ {
+			out[i-lo] = f[rows[i]]
+		}
+	case KindInt:
+		v := c.I
+		for i := lo; i < hi; i++ {
+			out[i-lo] = float64(v[rows[i]])
+		}
+	default:
+		codes := c.Codes
+		for i := lo; i < hi; i++ {
+			out[i-lo] = float64(codes[rows[i]])
+		}
+	}
+}
+
+// Slice returns a zero-copy view of rows [lo, hi): the view shares the
+// underlying arrays (and dictionary) with the parent column. Appending to
+// a slice view is not supported.
+func (c *Column) Slice(lo, hi int) *Column {
+	n := NewColumn(c.Name, c.Kind)
+	switch c.Kind {
+	case KindFloat:
+		n.F = c.F[lo:hi:hi]
+	case KindInt:
+		n.I = c.I[lo:hi:hi]
+	default:
+		n.Codes = c.Codes[lo:hi:hi]
+		n.dict = c.dict
+		n.index = c.index
+	}
+	return n
+}
+
 // Renamed returns a view of the column under a new name, sharing the
 // underlying data.
 func (c *Column) Renamed(name string) *Column {
@@ -269,6 +311,16 @@ func (t *Table) ColumnNames() []string {
 	out := make([]string, len(t.Cols))
 	for i, c := range t.Cols {
 		out[i] = c.Name
+	}
+	return out
+}
+
+// Slice returns a zero-copy view of rows [lo, hi) of every column. The
+// view keeps the table's name and schema; see Column.Slice.
+func (t *Table) Slice(lo, hi int) *Table {
+	out := NewTable(t.Name)
+	for _, c := range t.Cols {
+		_ = out.AddColumn(c.Slice(lo, hi))
 	}
 	return out
 }

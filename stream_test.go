@@ -1,0 +1,143 @@
+package sudaf_test
+
+import (
+	"context"
+	"testing"
+
+	"sudaf"
+)
+
+// TestQueryBatchesStreamsResult checks the batch cursor against the
+// materialized result: same rows, same values, batch-size bounded views.
+func TestQueryBatchesStreamsResult(t *testing.T) {
+	eng := demoEngine(t)
+	sql := "SELECT region, price FROM sales" // 10k projection rows → many batches
+	full, err := eng.Query(sql, sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.QueryBatches(context.Background(), sql, sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	rows, batches := 0, 0
+	for cur.Next() {
+		b := cur.Batch()
+		if b.NumRows() == 0 || b.NumRows() > 1024 {
+			t.Fatalf("batch %d has %d rows", batches, b.NumRows())
+		}
+		if len(b.Cols) != len(full.Table.Cols) {
+			t.Fatalf("batch %d has %d columns, want %d", batches, len(b.Cols), len(full.Table.Cols))
+		}
+		for c := range b.Cols {
+			for i := 0; i < b.NumRows(); i++ {
+				if got, want := b.Cols[c].AsFloat(i), full.Table.Cols[c].AsFloat(rows+i); got != want {
+					t.Fatalf("batch %d col %d row %d: %v, want %v", batches, c, i, got, want)
+				}
+			}
+		}
+		rows += b.NumRows()
+		batches++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != full.Table.NumRows() {
+		t.Fatalf("streamed %d rows, result has %d", rows, full.Table.NumRows())
+	}
+	if want := (rows + 1023) / 1024; batches != want {
+		t.Fatalf("%d batches for %d rows, want %d", batches, rows, want)
+	}
+	if cur.Result() == nil || cur.Result().RowsScanned == 0 {
+		t.Error("cursor should expose the backing result's metadata")
+	}
+	// Close is idempotent and ends iteration.
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Next() {
+		t.Error("Next after Close should be false")
+	}
+}
+
+// TestResultRowsIterator checks the row-level convenience built on the
+// batch cursor, including iteration across batch boundaries.
+func TestResultRowsIterator(t *testing.T) {
+	eng := demoEngine(t)
+	res, err := eng.Query("SELECT region, avg(price) m FROM sales GROUP BY region ORDER BY region", sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := res.Rows()
+	cols := it.Columns()
+	if len(cols) != 2 || cols[1] != "m" {
+		t.Fatalf("columns = %v", cols)
+	}
+	if it.NumCols() != 2 {
+		t.Fatalf("NumCols = %d", it.NumCols())
+	}
+	n := 0
+	for it.Next() {
+		if got, want := it.Float(0), res.Table.Cols[0].AsFloat(n); got != want {
+			t.Fatalf("row %d col 0: %v, want %v", n, got, want)
+		}
+		if got, want := it.Float(1), res.Table.Cols[1].AsFloat(n); got != want {
+			t.Fatalf("row %d col 1: %v, want %v", n, got, want)
+		}
+		if it.String(0) == "" {
+			t.Fatalf("row %d: empty string rendering", n)
+		}
+		n++
+	}
+	if n != res.Table.NumRows() {
+		t.Fatalf("iterated %d rows, want %d", n, res.Table.NumRows())
+	}
+	// A custom batch size must not change what is seen, only how.
+	small := res.Batches(3)
+	total := 0
+	for small.Next() {
+		if small.Batch().NumRows() > 3 {
+			t.Fatalf("batch of %d rows with size 3", small.Batch().NumRows())
+		}
+		total += small.Batch().NumRows()
+	}
+	if total != res.Table.NumRows() {
+		t.Fatalf("size-3 cursor saw %d rows, want %d", total, res.Table.NumRows())
+	}
+}
+
+// TestQueryBatchesStringColumns: dictionary columns must survive the
+// zero-copy slicing with their dictionaries intact.
+func TestQueryBatchesStringColumns(t *testing.T) {
+	eng := sudaf.Open(sudaf.Options{Workers: 2})
+	tbl := sudaf.NewTable("pets",
+		sudaf.NewColumn("name", sudaf.String),
+		sudaf.NewColumn("age", sudaf.Float))
+	names := []string{"ada", "bo", "cy"}
+	for i := 0; i < 2000; i++ {
+		tbl.Col("name").AppendString(names[i%3])
+		tbl.Col("age").AppendFloat(float64(i % 17))
+	}
+	if err := eng.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := eng.QueryBatches(context.Background(), "SELECT name, age FROM pets", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	row := 0
+	for cur.Next() {
+		b := cur.Batch()
+		for i := 0; i < b.NumRows(); i++ {
+			if got, want := b.Cols[0].StringAt(i), names[(row+i)%3]; got != want {
+				t.Fatalf("row %d: %q, want %q", row+i, got, want)
+			}
+		}
+		row += b.NumRows()
+	}
+	if row != 2000 {
+		t.Fatalf("saw %d rows", row)
+	}
+}

@@ -74,8 +74,16 @@ const (
 	NumericStrict = core.NumericStrict
 )
 
-// Result is a query result; Table holds the output columns.
+// Result is a query result; Table holds the output columns. Batches(n)
+// and Rows() iterate it incrementally (see BatchCursor, RowIter).
 type Result = core.Result
+
+// BatchCursor iterates a query result in fixed-size column batches; see
+// Engine.QueryBatches.
+type BatchCursor = core.BatchCursor
+
+// RowIter iterates a query result row by row; see Result.Rows.
+type RowIter = core.RowIter
 
 // CacheStats reports cache activity (exact, shared and sign-split hits).
 type CacheStats = cache.Stats
@@ -166,17 +174,41 @@ func (e *Engine) Explain(name string) (string, bool) {
 // UDAFNames lists registered UDAFs.
 func (e *Engine) UDAFNames() []string { return e.s.UDAFNames() }
 
-// Query runs a SELECT statement in the given mode.
+// Query runs a SELECT statement in the given mode. It is shorthand for
+// QueryContext with context.Background(); see QueryContext for the error
+// contract.
 func (e *Engine) Query(sql string, mode Mode) (*Result, error) {
 	return e.s.Query(sql, mode)
 }
 
-// QueryContext runs a SELECT statement in the given mode under a context:
-// cancellation and deadlines propagate cooperatively into scans, joins,
-// partition aggregation and output construction. The engine's QueryTimeout
+// QueryContext is the primary query entrypoint: it runs a SELECT
+// statement in the given mode under a context. Cancellation and deadlines
+// propagate cooperatively into scans, joins, batch aggregation and output
+// construction, polled at batch granularity. The engine's QueryTimeout
 // (if set) nests inside ctx.
+//
+// Errors wrap the package sentinels for errors.Is classification:
+// ErrParse (bad SQL), ErrUnknownTable, ErrUnknownUDAF, ErrNumericFault
+// (NumericStrict only) and ErrCanceled (which also wraps the originating
+// context error).
 func (e *Engine) QueryContext(ctx context.Context, sql string, mode Mode) (*Result, error) {
 	return e.s.QueryContext(ctx, sql, mode)
+}
+
+// QueryBatches runs a SELECT statement and returns a cursor over the
+// result in fixed-size column batches, so large outputs are consumed
+// incrementally:
+//
+//	cur, err := eng.QueryBatches(ctx, sql, sudaf.Share)
+//	for cur.Next() {
+//	    batch := cur.Batch() // *sudaf.Table view, ≤ 1024 rows
+//	}
+//	err = cur.Err()
+//
+// It shares QueryContext's error contract (ErrParse, ErrUnknownTable,
+// ErrUnknownUDAF, ErrNumericFault, ErrCanceled).
+func (e *Engine) QueryBatches(ctx context.Context, sql string, mode Mode) (*BatchCursor, error) {
+	return e.s.QueryBatches(ctx, sql, mode)
 }
 
 // SetQueryTimeout changes the per-query timeout at runtime (0 disables).
@@ -185,6 +217,12 @@ func (e *Engine) SetQueryTimeout(d time.Duration) { e.s.SetQueryTimeout(d) }
 // SetNumericPolicy switches strict/permissive numeric fault handling at
 // runtime.
 func (e *Engine) SetNumericPolicy(p NumericPolicy) { e.s.SetNumericPolicy(p) }
+
+// SetVectorizedKernels toggles the batch aggregation kernels (on by
+// default). Off forces tuple-at-a-time accumulation; results are
+// identical either way — the knob exists for benchmarks and differential
+// tests.
+func (e *Engine) SetVectorizedKernels(on bool) { e.s.SetVectorizedKernels(on) }
 
 // RewriteSQL renders the SUDAF rewriting of a query as SQL text — the
 // partial-aggregate derived-table form (RQ1/RQ2 in the paper) that SUDAF
