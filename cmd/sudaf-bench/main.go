@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exps       = flag.String("exp", "all", "comma-separated experiments: table1,space,fig1,fig2,fig6,fig7,fig8,fig9,fig10,kernel,all")
+		exps       = flag.String("exp", "all", "comma-separated experiments: table1,space,fig1,fig2,fig6,fig7,fig8,fig9,fig10,kernel,concurrent,all")
 		pgScale    = flag.Int("pg-scale", 2, "TPC-DS scale for serial (PostgreSQL-mode) runs")
 		sparkScale = flag.Int("spark-scale", 4, "TPC-DS scale for parallel (Spark-mode) runs")
 		milanPG    = flag.Int("milan-pg", 4_000_000, "Milan rows for serial runs")
@@ -29,6 +29,8 @@ func main() {
 		squares    = flag.Int("squares", 10_000, "Milan group cardinality")
 		workers    = flag.Int("workers", 0, "Spark-mode parallelism (0 = NumCPU)")
 		n10        = flag.Int("fig10-queries", 200, "random sequence length")
+		concRows   = flag.Int("conc-rows", 1_500_000, "Milan rows for the concurrent throughput experiment")
+		concSec    = flag.Float64("conc-seconds", 3, "time budget per (system, clients) cell of the concurrent experiment")
 		seed       = flag.Int64("seed", 0, "dataset seed (0 = default)")
 	)
 	flag.Parse()
@@ -42,6 +44,8 @@ func main() {
 		Workers:        *workers,
 		Seed:           *seed,
 		Fig10Queries:   *n10,
+		ConcRows:       *concRows,
+		ConcSeconds:    *concSec,
 		Out:            os.Stdout,
 	})
 
@@ -74,6 +78,9 @@ func main() {
 	}
 	if all || want["kernel"] {
 		r.Kernel()
+	}
+	if all || want["concurrent"] {
+		r.Concurrent()
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -49,6 +49,12 @@ type Config struct {
 	Seed int64
 	// Fig10Queries is the length of the random sequence (paper: 200).
 	Fig10Queries int
+	// ConcRows sizes the Milan table of the multi-client throughput
+	// experiment (default 1.5M).
+	ConcRows int
+	// ConcSeconds is the time budget per (system, clients) cell of the
+	// concurrent experiment (default 3s).
+	ConcSeconds float64
 	// Out receives the report (defaults to no output when nil... callers
 	// pass os.Stdout).
 	Out io.Writer
@@ -79,6 +85,12 @@ func (c *Config) Defaults() {
 	}
 	if c.Fig10Queries == 0 {
 		c.Fig10Queries = 200
+	}
+	if c.ConcRows == 0 {
+		c.ConcRows = 1_500_000
+	}
+	if c.ConcSeconds == 0 {
+		c.ConcSeconds = 3
 	}
 	if c.Out == nil {
 		c.Out = io.Discard
@@ -224,10 +236,10 @@ func (r *Runner) Fig1(spark bool) {
 
 	// (c) Q3 vs RQ3' (roll-up over the materialized state view V1).
 	c1 := r.run(s, exp+"c", "Q3", core.ModeBaseline, paperQ3)
-	s.EnableViewRewriting = false
+	s.SetViewRewriting(false)
 	c2 := r.run(s, exp+"c", "Q3 SUDAF (no view)", core.ModeRewrite, paperQ3)
 	must(s.Materialize("v1_states", paperV1))
-	s.EnableViewRewriting = true
+	s.SetViewRewriting(true)
 	s.ClearCache() // isolate the view effect from the state cache
 	c3 := r.run(s, exp+"c", "RQ3' (view roll-up)", core.ModeRewrite, paperQ3)
 	r.printRows("(c) Q3 vs RQ3'", []Measurement{c1, c2, c3})

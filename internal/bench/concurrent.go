@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"sudaf/internal/core"
+	"sudaf/internal/data"
+)
+
+// concurrentAggs is the workload mix for the multi-client experiment:
+// aggregates whose states overlap heavily (qm/std/var/avg share Σx², Σx
+// and n), so share mode serves most of the fleet from the cache.
+var concurrentAggs = []string{"qm", "std", "var", "avg", "cm", "apm", "sum", "count"}
+
+// ConcurrentResult is one (system, clients) throughput measurement.
+type ConcurrentResult struct {
+	System  string
+	Clients int
+	Queries int
+	Seconds float64
+	// QPS is aggregate throughput: Queries / Seconds.
+	QPS float64
+}
+
+// Concurrent measures multi-client query throughput: C client goroutines
+// issue aggregate queries against one shared session for a fixed time
+// budget, for C ∈ {1, 2, 4, 8}, in each of the three systems. The
+// dataset is the 1.5M-row Milan-like table; the per-client work is query
+// model 2's shape (GROUP BY square_id, ORDER BY + LIMIT 20). Share mode
+// is warmed with one pass first, so the measured steady state is what a
+// serving deployment sees: exact and Theorem 4.1 cache hits, with the
+// striped cache and per-query contexts carrying the concurrency. The
+// scaling factor from 1 to 4 clients is printed per system; meaningful
+// scaling requires multiple CPUs (GOMAXPROCS is printed alongside — on
+// one core the experiment degenerates to a fairness check).
+func (r *Runner) Concurrent() []ConcurrentResult {
+	cfg := r.cfg
+	rows := cfg.ConcRows
+	s := core.NewSession(core.Options{Workers: cfg.Workers})
+	must(s.Register(data.Milan(rows, cfg.MilanSquares, cfg.Seed+7)))
+
+	queries := make([]string, 0, len(concurrentAggs))
+	for _, agg := range concurrentAggs {
+		queries = append(queries, queryModel(2, agg))
+	}
+	budget := time.Duration(cfg.ConcSeconds * float64(time.Second))
+
+	fmt.Fprintf(r.out, "\n== CONCURRENT: multi-client throughput, %d-row Milan, %.1fs/cell, %d worker(s) ==\n",
+		rows, budget.Seconds(), cfg.Workers)
+	tw := tabwriter.NewWriter(r.out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "system\tclients\tqueries\ttime(s)\tqps\n")
+
+	var out []ConcurrentResult
+	scaling := map[string]map[int]float64{}
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeRewrite, core.ModeShare} {
+		perClients := map[int]float64{}
+		for _, clients := range []int{1, 2, 4, 8} {
+			s.ClearCache()
+			if mode == core.ModeShare {
+				// Warm pass: populate the cache so the measurement is the
+				// serving steady state, not first-touch computation.
+				for _, q := range queries {
+					_, err := s.Query(q, mode)
+					must(err)
+				}
+			}
+			var next, done atomic.Int64
+			var wg sync.WaitGroup
+			start := time.Now()
+			deadline := start.Add(budget)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for time.Now().Before(deadline) {
+						i := int(next.Add(1)) - 1
+						_, err := s.Query(queries[i%len(queries)], mode)
+						must(err)
+						done.Add(1)
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start).Seconds()
+			n := int(done.Load())
+			cr := ConcurrentResult{
+				System: mode.String(), Clients: clients, Queries: n,
+				Seconds: elapsed, QPS: float64(n) / elapsed,
+			}
+			out = append(out, cr)
+			perClients[clients] = cr.QPS
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.1f\n", cr.System, cr.Clients, cr.Queries, cr.Seconds, cr.QPS)
+		}
+		scaling[mode.String()] = perClients
+	}
+	tw.Flush()
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeRewrite, core.ModeShare} {
+		pc := scaling[mode.String()]
+		if pc[1] > 0 {
+			fmt.Fprintf(r.out, "%-14s 1→4 client scaling: %.2fx\n", mode.String(), pc[4]/pc[1])
+		}
+	}
+	return out
+}

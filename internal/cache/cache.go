@@ -16,6 +16,25 @@
 // product or log state over data that is not provably positive is cached
 // as the pair (Σ ln|b|, Π sgn(b)), from which Π b and the log family are
 // reconstructed.
+//
+// # Concurrency
+//
+// The cache is safe for concurrent use by any number of query goroutines.
+// Entries are striped across shards by fingerprint hash; each shard has
+// its own mutex, LRU order and byte budget, so queries over different
+// data parts never contend on a lock. Counters are atomics, readable
+// without any lock.
+//
+// The locking contract for GroupTable is split by field:
+//
+//   - Fingerprint, KeyNames, Keys, KeyCols and the key index are immutable
+//     after NewGroupTable, so a *GroupTable returned by Entry can be read
+//     (IndexOf, NumGroups, Keys, ...) without holding any lock.
+//   - states/byKey are mutated only by cache methods holding the owning
+//     shard's mutex. Callers outside this package must not call AddState
+//     on a table that has been Put (build a fresh table and Put it).
+//   - A CachedState's Vals slice is never written after insertion; value
+//     slices returned by Lookup are shared and read-only.
 package cache
 
 import (
@@ -23,6 +42,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"sudaf/internal/canonical"
 	"sudaf/internal/expr"
@@ -194,7 +214,8 @@ func (gt *GroupTable) ToTable(name string, stateName func(i int, s *CachedState)
 	return t
 }
 
-// Stats counts cache activity.
+// Stats counts cache activity. It is a plain snapshot struct; the live
+// counters inside Cache are atomics.
 type Stats struct {
 	Lookups    int64 // state lookup attempts
 	ExactHits  int64 // exact state-key hits
@@ -208,50 +229,143 @@ type Stats struct {
 	Corruptions int64
 }
 
-// Cache is the session-wide state cache with LRU eviction by fingerprint.
-type Cache struct {
+// HitKind classifies how a Lookup was served.
+type HitKind int
+
+const (
+	// HitNone: the lookup missed.
+	HitNone HitKind = iota
+	// HitExact: the exact state key was cached.
+	HitExact
+	// HitShared: served through a Theorem 4.1 rewriting.
+	HitShared
+	// HitSign: reconstructed from §5.3 sign-split companions.
+	HitSign
+)
+
+func (k HitKind) String() string {
+	switch k {
+	case HitExact:
+		return "exact"
+	case HitShared:
+		return "shared"
+	case HitSign:
+		return "sign"
+	}
+	return "miss"
+}
+
+// DefaultShards is the stripe count of a cache built with New. 32 shards
+// keep the per-shard mutex essentially uncontended for any realistic
+// client count (lock hold times are O(#groups) at worst) while the
+// per-shard LRU budget (total/32) still holds many group tables.
+const DefaultShards = 32
+
+// shard is one stripe: a fingerprint→GroupTable map with its own lock,
+// LRU order and byte budget.
+type shard struct {
 	mu       sync.Mutex
 	entries  map[string]*GroupTable
 	order    []string // LRU order, most recent last
 	maxBytes int64
 	curBytes int64
-	space    *symbolic.Space
-	stats    Stats
+}
+
+// Cache is the session-wide state cache, striped by fingerprint with LRU
+// eviction per shard. All methods are safe for concurrent use.
+type Cache struct {
+	shards []*shard
+	space  *symbolic.Space
+
+	lookups     atomic.Int64
+	exactHits   atomic.Int64
+	sharedHits  atomic.Int64
+	signHits    atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
+	corruptions atomic.Int64
+
 	// events records degradation events (corruption fallbacks, injected
-	// faults) until drained by the session.
+	// faults) until drained by the session. Guarded by evMu, which is
+	// only ever taken after (or without) a shard mutex — never the
+	// reverse — so the lock order shard.mu → evMu is acyclic.
+	evMu   sync.Mutex
 	events []string
 }
 
-// New creates a cache with the given byte budget (≤0 means 256 MiB) and
-// an optional precomputed symbolic space for fast sharing lookups.
+// New creates a cache with the given byte budget (≤0 means 256 MiB), the
+// default stripe count, and an optional precomputed symbolic space for
+// fast sharing lookups.
 func New(maxBytes int64, space *symbolic.Space) *Cache {
+	return NewSharded(maxBytes, 0, space)
+}
+
+// NewSharded creates a cache with an explicit stripe count (≤0 means
+// DefaultShards). The byte budget is divided evenly across shards.
+func NewSharded(maxBytes int64, shards int, space *symbolic.Space) *Cache {
 	if maxBytes <= 0 {
 		maxBytes = 256 << 20
 	}
-	return &Cache{entries: map[string]*GroupTable{}, maxBytes: maxBytes, space: space}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	per := maxBytes / int64(shards)
+	if per < 4096 {
+		per = 4096
+	}
+	c := &Cache{shards: make([]*shard, shards), space: space}
+	for i := range c.shards {
+		c.shards[i] = &shard{entries: map[string]*GroupTable{}, maxBytes: per}
+	}
+	return c
 }
 
-// Stats returns a snapshot of the counters.
+// NumShards returns the stripe count.
+func (c *Cache) NumShards() int { return len(c.shards) }
+
+// shardFor maps a fingerprint to its stripe.
+func (c *Cache) shardFor(fp string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(fp))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Stats returns a snapshot of the counters. The snapshot is not a
+// consistent cut across counters under concurrent traffic (each counter
+// is read atomically on its own), but quiescent reads are exact.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Lookups:     c.lookups.Load(),
+		ExactHits:   c.exactHits.Load(),
+		SharedHits:  c.sharedHits.Load(),
+		SignHits:    c.signHits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Corruptions: c.corruptions.Load(),
+	}
 }
 
 // ResetStats zeroes the counters.
 func (c *Cache) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats = Stats{}
+	c.lookups.Store(0)
+	c.exactHits.Store(0)
+	c.sharedHits.Store(0)
+	c.signHits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.corruptions.Store(0)
 }
 
-// Entry returns the group table for a fingerprint.
+// Entry returns the group table for a fingerprint. The returned table's
+// key structure is immutable and safe to read without locks; see the
+// package comment for the full contract.
 func (c *Cache) Entry(fp string) (*GroupTable, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	gt, ok := c.entries[fp]
+	sh := c.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	gt, ok := sh.entries[fp]
 	if ok {
-		c.touch(fp)
+		sh.touch(fp)
 	}
 	return gt, ok
 }
@@ -260,12 +374,13 @@ func (c *Cache) Entry(fp string) (*GroupTable, bool) {
 // fingerprint are kept (states accumulate across queries). Incoming
 // state vectors are realigned to the existing entry's group order; if
 // the group sets differ (the underlying data changed), the incoming
-// table replaces the entry.
+// table replaces the entry. The caller must not modify gt after Put.
 func (c *Cache) Put(gt *GroupTable) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prev, ok := c.entries[gt.Fingerprint]; ok {
-		c.curBytes -= prev.bytes()
+	sh := c.shardFor(gt.Fingerprint)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.entries[gt.Fingerprint]; ok {
+		sh.curBytes -= prev.bytes()
 		replaced := false
 		for _, s := range gt.states {
 			aligned, ok := prev.Align(gt.Keys, s.Vals)
@@ -276,55 +391,141 @@ func (c *Cache) Put(gt *GroupTable) {
 			_ = prev.AddState(&CachedState{State: s.State, Vals: aligned, PositiveInput: s.PositiveInput})
 		}
 		if replaced {
-			c.entries[gt.Fingerprint] = gt
-			c.curBytes += gt.bytes()
+			sh.entries[gt.Fingerprint] = gt
+			sh.curBytes += gt.bytes()
 		} else {
-			c.curBytes += prev.bytes()
+			sh.curBytes += prev.bytes()
 		}
-		c.touch(gt.Fingerprint)
-		c.evict()
+		sh.touch(gt.Fingerprint)
+		c.evict(sh)
 		return
 	}
-	c.entries[gt.Fingerprint] = gt
-	c.order = append(c.order, gt.Fingerprint)
-	c.curBytes += gt.bytes()
-	c.evict()
+	sh.entries[gt.Fingerprint] = gt
+	sh.order = append(sh.order, gt.Fingerprint)
+	sh.curBytes += gt.bytes()
+	c.evict(sh)
 }
 
-func (c *Cache) touch(fp string) {
-	for i, f := range c.order {
+// touch moves a fingerprint to the MRU end. Caller holds sh.mu.
+func (sh *shard) touch(fp string) {
+	for i, f := range sh.order {
 		if f == fp {
-			c.order = append(append(c.order[:i:i], c.order[i+1:]...), fp)
+			sh.order = append(append(sh.order[:i:i], sh.order[i+1:]...), fp)
 			return
 		}
 	}
 }
 
-func (c *Cache) evict() {
-	for c.curBytes > c.maxBytes && len(c.order) > 1 {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		if gt, ok := c.entries[victim]; ok {
-			c.curBytes -= gt.bytes()
-			delete(c.entries, victim)
-			c.stats.Evictions++
+// evict drops LRU entries until the shard fits its budget. Caller holds
+// sh.mu.
+func (c *Cache) evict(sh *shard) {
+	for sh.curBytes > sh.maxBytes && len(sh.order) > 1 {
+		victim := sh.order[0]
+		sh.order = sh.order[1:]
+		if gt, ok := sh.entries[victim]; ok {
+			sh.curBytes -= gt.bytes()
+			delete(sh.entries, victim)
+			c.evictions.Add(1)
 		}
 	}
 }
 
+// addEvent appends a degradation event.
+func (c *Cache) addEvent(ev string) {
+	c.evMu.Lock()
+	c.events = append(c.events, ev)
+	c.evMu.Unlock()
+}
+
 // DrainEvents returns and clears accumulated degradation events.
 func (c *Cache) DrainEvents() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.evMu.Lock()
+	defer c.evMu.Unlock()
 	ev := c.events
 	c.events = nil
 	return ev
 }
 
+// CheckInvariants verifies the cache's structural invariants — byte
+// accounting matches entry contents and never goes negative, LRU order
+// mirrors the entry set, every cached state is internally consistent,
+// and counters balance (lookups = hits + misses). The counter-balance
+// check is only meaningful at quiescence — an in-flight lookup has
+// incremented Lookups but not yet its outcome — so call it when no
+// lookups are running (the structural checks are valid at any time).
+// Used by the concurrency property tests; it takes every shard lock,
+// one at a time.
+func (c *Cache) CheckInvariants() error {
+	for si, sh := range c.shards {
+		sh.mu.Lock()
+		var sum int64
+		for fp, gt := range sh.entries {
+			sum += gt.bytes()
+			if len(gt.states) != len(gt.byKey) {
+				sh.mu.Unlock()
+				return fmt.Errorf("shard %d entry %s: %d states but %d keys", si, fp, len(gt.states), len(gt.byKey))
+			}
+			for key, i := range gt.byKey {
+				if i < 0 || i >= len(gt.states) {
+					sh.mu.Unlock()
+					return fmt.Errorf("shard %d entry %s: key %s maps to out-of-range index %d", si, fp, key, i)
+				}
+				if gt.states[i].State.Key() != key {
+					sh.mu.Unlock()
+					return fmt.Errorf("shard %d entry %s: key %s maps to state %s", si, fp, key, gt.states[i].State.Key())
+				}
+			}
+			for _, s := range gt.states {
+				if len(s.Vals) != len(gt.Keys) {
+					sh.mu.Unlock()
+					return fmt.Errorf("shard %d entry %s state %s: %d values for %d groups",
+						si, fp, s.State.Key(), len(s.Vals), len(gt.Keys))
+				}
+			}
+		}
+		if sh.curBytes < 0 {
+			sh.mu.Unlock()
+			return fmt.Errorf("shard %d: negative byte accounting %d", si, sh.curBytes)
+		}
+		if sh.curBytes != sum {
+			sh.mu.Unlock()
+			return fmt.Errorf("shard %d: accounted %d bytes, entries hold %d", si, sh.curBytes, sum)
+		}
+		if len(sh.order) != len(sh.entries) {
+			sh.mu.Unlock()
+			return fmt.Errorf("shard %d: %d LRU slots for %d entries", si, len(sh.order), len(sh.entries))
+		}
+		seen := map[string]bool{}
+		for _, fp := range sh.order {
+			if seen[fp] {
+				sh.mu.Unlock()
+				return fmt.Errorf("shard %d: fingerprint %s appears twice in LRU order", si, fp)
+			}
+			seen[fp] = true
+			if _, ok := sh.entries[fp]; !ok {
+				sh.mu.Unlock()
+				return fmt.Errorf("shard %d: LRU order references missing entry %s", si, fp)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	st := c.Stats()
+	for _, v := range []int64{st.Lookups, st.ExactHits, st.SharedHits, st.SignHits, st.Misses, st.Evictions, st.Corruptions} {
+		if v < 0 {
+			return fmt.Errorf("negative counter in %+v", st)
+		}
+	}
+	if st.Lookups != st.ExactHits+st.SharedHits+st.SignHits+st.Misses {
+		return fmt.Errorf("lost stats increments: %d lookups vs %d outcomes (%+v)",
+			st.Lookups, st.ExactHits+st.SharedHits+st.SignHits+st.Misses, st)
+	}
+	return nil
+}
+
 // sweepCorrupt drops every cached state under gt whose values no longer
 // match their integrity checksum, recording a degradation event per
-// state. The caller holds c.mu.
-func (c *Cache) sweepCorrupt(gt *GroupTable) {
+// state. The caller holds the owning shard's mutex.
+func (c *Cache) sweepCorrupt(sh *shard, gt *GroupTable) {
 	var bad []string
 	for _, s := range gt.states {
 		if !s.verify() {
@@ -334,40 +535,48 @@ func (c *Cache) sweepCorrupt(gt *GroupTable) {
 	if len(bad) == 0 {
 		return
 	}
-	c.curBytes -= gt.bytes()
+	sh.curBytes -= gt.bytes()
 	for _, key := range bad {
 		gt.dropState(key)
-		c.stats.Corruptions++
-		c.events = append(c.events,
-			fmt.Sprintf("cache: state %s under %s failed integrity check; dropped, recomputing from base data", key, gt.Fingerprint))
+		c.corruptions.Add(1)
+		c.addEvent(fmt.Sprintf("cache: state %s under %s failed integrity check; dropped, recomputing from base data", key, gt.Fingerprint))
 	}
-	c.curBytes += gt.bytes()
+	sh.curBytes += gt.bytes()
 }
 
-// Lookup resolves a requested state under a fingerprint: exact match,
-// Theorem 4.1 sharing, or §5.3 sign-split reconstruction. On success it
-// returns the per-group values (freshly materialized if rewritten).
-// Corrupted states (integrity-check failures) are dropped and reported
-// as misses, so callers degrade to recomputation rather than failing.
+// Lookup resolves a requested state under a fingerprint; see LookupKind.
 func (c *Cache) Lookup(fp string, want canonical.State, positiveData bool) ([]float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Lookups++
+	vals, _, ok := c.LookupKind(fp, want, positiveData)
+	return vals, ok
+}
+
+// LookupKind resolves a requested state under a fingerprint: exact match,
+// Theorem 4.1 sharing, or §5.3 sign-split reconstruction, reporting which
+// path served the hit. On success it returns the per-group values
+// (freshly materialized if rewritten); the returned slice is shared and
+// must not be written. Corrupted states (integrity-check failures) are
+// dropped and reported as misses, so callers degrade to recomputation
+// rather than failing.
+func (c *Cache) LookupKind(fp string, want canonical.State, positiveData bool) ([]float64, HitKind, bool) {
+	sh := c.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.lookups.Add(1)
 	if err := faultinject.Hit(faultinject.PointCacheGet); err != nil {
-		c.stats.Misses++
-		c.events = append(c.events, "cache: injected fault on get, treated as miss: "+err.Error())
-		return nil, false
+		c.misses.Add(1)
+		c.addEvent("cache: injected fault on get, treated as miss: " + err.Error())
+		return nil, HitNone, false
 	}
-	gt, ok := c.entries[fp]
+	gt, ok := sh.entries[fp]
 	if !ok {
-		c.stats.Misses++
-		return nil, false
+		c.misses.Add(1)
+		return nil, HitNone, false
 	}
-	c.touch(fp)
-	c.sweepCorrupt(gt)
+	sh.touch(fp)
+	c.sweepCorrupt(sh, gt)
 	if cs, ok := gt.Exact(want.Key()); ok {
-		c.stats.ExactHits++
-		return cs.Vals, true
+		c.exactHits.Add(1)
+		return cs.Vals, HitExact, true
 	}
 	// Sharing pass: find a cached state the request shares.
 	for _, cand := range gt.states {
@@ -381,9 +590,9 @@ func (c *Cache) Lookup(fp string, want canonical.State, positiveData bool) ([]fl
 				// Confirm with the verified direct procedure, then apply.
 				if _, confirmed := sharing.Share(want, cand.State, pos); confirmed {
 					vals := applyScalar(r, cand.Vals)
-					c.stats.SharedHits++
-					c.storeDerived(gt, want, vals, cand.PositiveInput)
-					return vals, true
+					c.sharedHits.Add(1)
+					c.storeDerived(sh, gt, want, vals, cand.PositiveInput)
+					return vals, HitShared, true
 				}
 			}
 		}
@@ -393,28 +602,28 @@ func (c *Cache) Lookup(fp string, want canonical.State, positiveData bool) ([]fl
 				continue
 			}
 			vals := applyScalar(fn, cand.Vals)
-			c.stats.SharedHits++
-			c.storeDerived(gt, want, vals, cand.PositiveInput)
-			return vals, true
+			c.sharedHits.Add(1)
+			c.storeDerived(sh, gt, want, vals, cand.PositiveInput)
+			return vals, HitShared, true
 		}
 	}
 	// Sign-split reconstruction (§5.3): Π b from (Σ ln|b|, Π sgn b);
 	// Σ a·ln|b|-shaped states likewise.
 	if vals, ok := c.signSplitLookup(gt, want); ok {
-		c.stats.SignHits++
-		c.storeDerived(gt, want, vals, false)
-		return vals, true
+		c.signHits.Add(1)
+		c.storeDerived(sh, gt, want, vals, false)
+		return vals, HitSign, true
 	}
-	c.stats.Misses++
-	return nil, false
+	c.misses.Add(1)
+	return nil, HitNone, false
 }
 
 // storeDerived caches a rewritten state's materialized values so repeated
-// requests become exact hits.
-func (c *Cache) storeDerived(gt *GroupTable, st canonical.State, vals []float64, pos bool) {
-	c.curBytes -= gt.bytes()
+// requests become exact hits. Caller holds the owning shard's mutex.
+func (c *Cache) storeDerived(sh *shard, gt *GroupTable, st canonical.State, vals []float64, pos bool) {
+	sh.curBytes -= gt.bytes()
 	_ = gt.AddState(&CachedState{State: st, Vals: vals, PositiveInput: pos})
-	c.curBytes += gt.bytes()
+	sh.curBytes += gt.bytes()
 }
 
 func sameBase(a, b canonical.State) bool {
@@ -503,22 +712,31 @@ func coefOf(p scalar.Prim) (float64, bool) {
 // fingerprint without updating checksums — a chaos/testing aid for the
 // integrity path. An empty fingerprint corrupts every entry. It returns
 // the number of states corrupted; 0 means the fingerprint is absent or
-// holds no states (or only empty vectors).
+// holds no states (or only empty vectors). States are replaced by
+// corrupted copies rather than mutated in place, so value slices handed
+// out by earlier Lookups stay valid under the read-only contract.
 func (c *Cache) CorruptEntryForTest(fp string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for f, gt := range c.entries {
-		if fp != "" && f != fp {
-			continue
-		}
-		for _, s := range gt.states {
-			if len(s.Vals) == 0 {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for f, gt := range sh.entries {
+			if fp != "" && f != fp {
 				continue
 			}
-			s.Vals[0] = math.Float64frombits(math.Float64bits(s.Vals[0]) ^ 1)
-			n++
+			for i, s := range gt.states {
+				if len(s.Vals) == 0 {
+					continue
+				}
+				bad := append([]float64(nil), s.Vals...)
+				bad[0] = math.Float64frombits(math.Float64bits(bad[0]) ^ 1)
+				gt.states[i] = &CachedState{
+					State: s.State, Vals: bad,
+					PositiveInput: s.PositiveInput, checksum: s.checksum,
+				}
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

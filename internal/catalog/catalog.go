@@ -2,24 +2,42 @@
 // table names to columnar tables and answers column-resolution queries
 // for the planner (which table owns a column, assuming the star-schema
 // convention of globally unique column names).
+//
+// A Catalog is safe for concurrent use. Per-query temporary tables
+// (materialized subqueries) live in an Overlay: a shared-nothing child
+// catalog whose local registrations shadow the parent without ever
+// writing to it, so concurrent queries can materialize derived tables
+// under the same alias without interfering.
 package catalog
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sudaf/internal/errs"
 	"sudaf/internal/storage"
 )
 
-// Catalog holds the registered tables of a session.
+// Catalog holds the registered tables of a session (or, for overlays,
+// the temporary tables of one query on top of a parent catalog).
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*storage.Table
+	parent *Catalog // consulted on local misses; never written through
 }
 
 // New creates an empty catalog.
 func New() *Catalog {
 	return &Catalog{tables: map[string]*storage.Table{}}
+}
+
+// Overlay creates a child catalog: lookups fall through to c, while
+// Register and Drop act only on the overlay's local tables. Intended for
+// per-query temporary tables; the overlay is not shared across queries,
+// but remains safe for concurrent use like any Catalog.
+func (c *Catalog) Overlay() *Catalog {
+	return &Catalog{tables: map[string]*storage.Table{}, parent: c}
 }
 
 // Register adds or replaces a table; the table must validate.
@@ -30,32 +48,52 @@ func (c *Catalog) Register(t *storage.Table) error {
 	if t.Name == "" {
 		return fmt.Errorf("cannot register unnamed table")
 	}
+	c.mu.Lock()
 	c.tables[t.Name] = t
+	c.mu.Unlock()
 	return nil
 }
 
-// Drop removes a table.
-func (c *Catalog) Drop(name string) { delete(c.tables, name) }
+// Drop removes a table (from the local layer only, for overlays).
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	delete(c.tables, name)
+	c.mu.Unlock()
+}
 
-// Table returns the named table.
+// Table returns the named table, consulting the parent on a local miss.
 func (c *Catalog) Table(name string) (*storage.Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("%w %q", errs.ErrUnknownTable, name)
+	c.mu.RUnlock()
+	if ok {
+		return t, nil
 	}
-	return t, nil
+	if c.parent != nil {
+		return c.parent.Table(name)
+	}
+	return nil, fmt.Errorf("%w %q", errs.ErrUnknownTable, name)
 }
 
-// Has reports whether a table is registered.
+// Has reports whether a table is registered (here or in a parent).
 func (c *Catalog) Has(name string) bool {
-	_, ok := c.tables[name]
-	return ok
+	_, err := c.Table(name)
+	return err == nil
 }
 
-// Names returns registered table names, sorted.
+// Names returns registered table names (including inherited ones),
+// sorted.
 func (c *Catalog) Names() []string {
-	out := make([]string, 0, len(c.tables))
-	for n := range c.tables {
+	seen := map[string]bool{}
+	for l := c; l != nil; l = l.parent {
+		l.mu.RLock()
+		for n := range l.tables {
+			seen[n] = true
+		}
+		l.mu.RUnlock()
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
 		out = append(out, n)
 	}
 	sort.Strings(out)

@@ -18,6 +18,21 @@
 //	  states are served from cache exactly, through Theorem 4.1
 //	  rewritings, or via §5.3 sign-split reconstruction; only missing
 //	  states touch base data.
+//
+// # Concurrency
+//
+// A Session is safe for any number of goroutines calling Query,
+// QueryContext, QueryBatches, Materialize and the setter methods
+// concurrently. Each query call builds a shared-nothing per-call context
+// (parse tree, canonicalization, rewrite plan, result assembly, and a
+// catalog overlay for materialized subquery temporaries); the shared
+// structures are an RWMutex-guarded registry (UDAFs, views, policies), a
+// striped state cache swapped atomically by ClearCache, and atomic
+// engine counters. The lock hierarchy is flat: Session.mu is never held
+// across engine execution or cache shard locks, and cache shard locks
+// never nest. Options.MaxConcurrentQueries adds admission control so a
+// burst of clients queues (context-aware) instead of oversubscribing the
+// morsel scheduler.
 package core
 
 import (
@@ -25,6 +40,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sudaf/internal/cache"
@@ -78,10 +94,16 @@ const (
 // Options configures a session.
 type Options struct {
 	// Workers is the engine parallelism: 1 = "PostgreSQL mode" (serial),
-	// 0 = all CPUs = "Spark mode".
+	// 0 = all CPUs = "Spark mode". The worker pool is shared by every
+	// concurrent query, so N simultaneous queries never run more than
+	// Workers aggregation goroutines in total.
 	Workers int
 	// CacheBytes bounds the state cache (≤0: 256 MiB).
 	CacheBytes int64
+	// CacheShards is the number of independent cache stripes (≤0:
+	// cache.DefaultShards). More stripes reduce lock contention between
+	// concurrent queries caching states under different fingerprints.
+	CacheShards int
 	// SymbolicL bounds the precomputed symbolic space (default 2).
 	SymbolicL int
 	// DisableViews turns off aggregate-view rewriting.
@@ -91,28 +113,69 @@ type Options struct {
 	QueryTimeout time.Duration
 	// Numeric is the numeric fault policy (default NumericPermissive).
 	Numeric NumericPolicy
+	// MaxConcurrentQueries caps the queries executing at once (0 = no
+	// cap). Excess callers queue inside QueryContext and honor their
+	// context's cancellation/deadline while waiting.
+	MaxConcurrentQueries int
 }
 
-// Session is a SUDAF instance bound to a catalog of tables.
+// EngineStats are session-lifetime aggregate counters, maintained with
+// atomics so they are cheap to bump from concurrent queries.
+type EngineStats struct {
+	// QueriesStarted counts queries admitted to execution.
+	QueriesStarted int64
+	// QueriesCompleted counts queries that returned a result.
+	QueriesCompleted int64
+	// QueriesFailed counts queries that returned an error (including
+	// cancellation).
+	QueriesFailed int64
+	// RowsScanned totals joined base rows read across all queries.
+	RowsScanned int64
+	// QueryTime totals wall time across all completed and failed queries
+	// (admission queue wait excluded).
+	QueryTime time.Duration
+	// QueueWait totals time queries spent waiting for an admission slot.
+	QueueWait time.Duration
+}
+
+// Session is a SUDAF instance bound to a catalog of tables. It is safe
+// for concurrent use; see the package comment for the concurrency model.
 type Session struct {
-	mu           sync.Mutex
+	// mu guards the registry maps (udafs, builtinForms, views) and the
+	// mutable policies (queryTimeout, numeric). It is never held across
+	// query execution.
+	mu           sync.RWMutex
 	cat          *catalog.Catalog
 	eng          *exec.Engine
-	cache        *cache.Cache
 	space        *symbolic.Space
 	udafs        map[string]*canonical.Form
 	builtinForms map[string]*canonical.Form
 	views        map[string]*rewrite.View
 
-	// EnableViewRewriting gates Q3→RQ3'-style roll-ups.
-	EnableViewRewriting bool
-	// tempSeq numbers materialized subqueries.
-	tempSeq int
+	// cache is swapped atomically by ClearCache; each query snapshots it
+	// once, so an in-flight query keeps one coherent cache for its whole
+	// lifetime even across a concurrent clear.
+	cache       atomic.Pointer[cache.Cache]
+	cacheBytes  int64
+	cacheShards int
 
-	// queryTimeout bounds each query (0 = none); see SetQueryTimeout.
+	// viewRewriting gates Q3→RQ3'-style roll-ups (atomic: toggled by
+	// benchmarks while queries run).
+	viewRewriting atomic.Bool
+
+	// admit is the admission-control semaphore (nil = unlimited).
+	admit chan struct{}
+
 	queryTimeout time.Duration
-	// numeric is the numeric fault policy; see SetNumericPolicy.
-	numeric NumericPolicy
+	numeric      NumericPolicy
+
+	// Engine-level counters (see EngineStats).
+	queriesStarted   atomic.Int64
+	queriesCompleted atomic.Int64
+	queriesFailed    atomic.Int64
+	rowsScanned      atomic.Int64
+	queryNanos       atomic.Int64
+	queueNanos       atomic.Int64
 }
 
 // NewSession creates a session with the built-in UDAF library registered.
@@ -127,15 +190,20 @@ func NewSession(opts Options) *Session {
 	cat := catalog.New()
 	space := symbolic.NewSpace(l)
 	s := &Session{
-		cat:                 cat,
-		eng:                 exec.NewEngine(cat, opts.Workers),
-		cache:               cache.New(opts.CacheBytes, space),
-		space:               space,
-		udafs:               map[string]*canonical.Form{},
-		views:               map[string]*rewrite.View{},
-		EnableViewRewriting: !opts.DisableViews,
-		queryTimeout:        opts.QueryTimeout,
-		numeric:             opts.Numeric,
+		cat:          cat,
+		eng:          exec.NewEngine(cat, opts.Workers),
+		space:        space,
+		cacheBytes:   opts.CacheBytes,
+		cacheShards:  opts.CacheShards,
+		udafs:        map[string]*canonical.Form{},
+		views:        map[string]*rewrite.View{},
+		queryTimeout: opts.QueryTimeout,
+		numeric:      opts.Numeric,
+	}
+	s.cache.Store(cache.NewSharded(opts.CacheBytes, opts.CacheShards, space))
+	s.viewRewriting.Store(!opts.DisableViews)
+	if opts.MaxConcurrentQueries > 0 {
+		s.admit = make(chan struct{}, opts.MaxConcurrentQueries)
 	}
 	s.registerBuiltinLibrary()
 	return s
@@ -144,28 +212,40 @@ func NewSession(opts Options) *Session {
 // Catalog exposes the session's catalog.
 func (s *Session) Catalog() *catalog.Catalog { return s.cat }
 
+// stateCache returns the current cache snapshot.
+func (s *Session) stateCache() *cache.Cache { return s.cache.Load() }
+
 // CacheStats returns cache counters.
-func (s *Session) CacheStats() cache.Stats { return s.cache.Stats() }
+func (s *Session) CacheStats() cache.Stats { return s.stateCache().Stats() }
 
 // ResetCacheStats zeroes cache counters.
-func (s *Session) ResetCacheStats() { s.cache.ResetStats() }
+func (s *Session) ResetCacheStats() { s.stateCache().ResetStats() }
 
-// ClearCache drops all cached states (fresh-cache experiments).
+// ClearCache drops all cached states (fresh-cache experiments) by
+// installing a new cache with the session's configured budget and shard
+// count. Queries already in flight finish against the old cache — they
+// snapshotted the pointer at admission — and their late inserts land in
+// the discarded cache, which is then garbage.
 func (s *Session) ClearCache() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sp := s.space
-	s.cache = cache.New(0, sp)
+	s.cache.Store(cache.NewSharded(s.cacheBytes, s.cacheShards, s.space))
 }
 
 // Space exposes the precomputed symbolic space.
 func (s *Session) Space() *symbolic.Space { return s.space }
 
 // Cache exposes the session's state cache (testing and chaos harnesses).
-func (s *Session) Cache() *cache.Cache {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cache
+func (s *Session) Cache() *cache.Cache { return s.stateCache() }
+
+// Stats returns the session-lifetime engine counters.
+func (s *Session) Stats() EngineStats {
+	return EngineStats{
+		QueriesStarted:   s.queriesStarted.Load(),
+		QueriesCompleted: s.queriesCompleted.Load(),
+		QueriesFailed:    s.queriesFailed.Load(),
+		RowsScanned:      s.rowsScanned.Load(),
+		QueryTime:        time.Duration(s.queryNanos.Load()),
+		QueueWait:        time.Duration(s.queueNanos.Load()),
+	}
 }
 
 // SetNumericPolicy switches strict/permissive numeric fault handling at
@@ -178,20 +258,25 @@ func (s *Session) SetNumericPolicy(p NumericPolicy) {
 
 // NumericPolicySetting returns the session's numeric fault policy.
 func (s *Session) NumericPolicySetting() NumericPolicy {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.numeric
 }
 
 // SetVectorizedKernels toggles the batch aggregation kernels (on by
 // default). Off forces every task onto the tuple-at-a-time path; results
 // are identical, only throughput changes. Used by benchmarks and the
-// batch≡tuple differential tests.
+// batch≡tuple differential tests. Safe to toggle while queries run: each
+// query snapshots the knob once.
 func (s *Session) SetVectorizedKernels(on bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.eng.DisableVectorKernels = !on
+	s.eng.SetVectorKernels(on)
 }
+
+// SetViewRewriting gates Q3→RQ3'-style roll-up rewritings at runtime.
+func (s *Session) SetViewRewriting(on bool) { s.viewRewriting.Store(on) }
+
+// ViewRewriting reports whether roll-up rewritings are enabled.
+func (s *Session) ViewRewriting() bool { return s.viewRewriting.Load() }
 
 // SetQueryTimeout changes the per-query timeout (0 disables it).
 func (s *Session) SetQueryTimeout(d time.Duration) {
@@ -244,16 +329,16 @@ func (s *Session) DefineSketchUDAF(name string, k int, q float64) error {
 
 // UDAF returns a registered UDAF's canonical form.
 func (s *Session) UDAF(name string) (*canonical.Form, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, ok := s.udafs[strings.ToLower(name)]
 	return f, ok
 }
 
 // UDAFNames lists registered UDAFs.
 func (s *Session) UDAFNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.udafs))
 	for n := range s.udafs {
 		out = append(out, n)
@@ -266,7 +351,9 @@ func (s *Session) isAgg(name string) bool {
 	if _, ok := exec.LookupBuiltin(name); ok {
 		return true
 	}
+	s.mu.RLock()
 	_, ok := s.udafs[name]
+	s.mu.RUnlock()
 	return ok
 }
 

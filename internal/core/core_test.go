@@ -179,7 +179,7 @@ func TestQ1NotServableFromQ2(t *testing.T) {
 func TestViewRewriting(t *testing.T) {
 	s := newTestSession(t, 20000, 1)
 	// Ground truth without views.
-	s.EnableViewRewriting = false
+	s.SetViewRewriting(false)
 	direct, err := s.Query(q3, ModeRewrite)
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +194,7 @@ func TestViewRewriting(t *testing.T) {
 	if err := s.Materialize("v1", v1); err != nil {
 		t.Fatal(err)
 	}
-	s.EnableViewRewriting = true
+	s.SetViewRewriting(true)
 	res, err := s.Query(q3, ModeRewrite)
 	if err != nil {
 		t.Fatal(err)
@@ -360,7 +360,7 @@ func TestCrossAggregateIntraQuerySharing(t *testing.T) {
 	}
 	// qm: {Σx², count}; stddev: {Σx², Σx, count}; var same; avg {Σx, count}
 	// → 3 unique states total.
-	entry, ok := s.cache.Entry(mustFingerprint(t, s, q))
+	entry, ok := s.Cache().Entry(mustFingerprint(t, s, q))
 	if !ok {
 		t.Fatal("no cache entry")
 	}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"sudaf/internal/cache"
 	"sudaf/internal/canonical"
+	"sudaf/internal/catalog"
 	"sudaf/internal/errs"
 	"sudaf/internal/exec"
 	"sudaf/internal/expr"
@@ -15,6 +17,27 @@ import (
 	"sudaf/internal/sqlparse"
 	"sudaf/internal/storage"
 )
+
+// QueryStats is the per-query observability record attached to every
+// Result: what the query cost and how the cache served it.
+type QueryStats struct {
+	// WallTime is the query's execution time (admission wait excluded).
+	WallTime time.Duration
+	// QueueWait is the time spent waiting for an admission slot (0 when
+	// MaxConcurrentQueries is unset or a slot was free).
+	QueueWait time.Duration
+	// RowsScanned is the number of joined base rows read.
+	RowsScanned int
+	// CacheExactHits / CacheSharedHits / CacheSignHits / CacheMisses
+	// count this query's state lookups by outcome (share mode only).
+	CacheExactHits  int
+	CacheSharedHits int
+	CacheSignHits   int
+	CacheMisses     int
+	// Kernels names the aggregation tasks that ran through compiled batch
+	// kernels (empty when nothing executed or kernels were off).
+	Kernels []string
+}
 
 // Result is a finished SUDAF query.
 type Result struct {
@@ -36,6 +59,31 @@ type Result struct {
 	// tolerated under the permissive policy. The query still succeeded —
 	// these report *how*.
 	Events []string
+	// Stats is the per-query cost/cache observability record.
+	Stats QueryStats
+}
+
+// queryCtx is the shared-nothing per-call state of one query: the
+// catalog view (an overlay once subquery temporaries exist), the cache
+// snapshot the whole query runs against, and the stats tallies. Nothing
+// in it is shared between concurrent queries.
+type queryCtx struct {
+	cat     *catalog.Catalog
+	cache   *cache.Cache
+	overlay bool
+	stats   QueryStats
+}
+
+// tempCat returns the catalog to register subquery temporaries in,
+// lazily switching the query onto a private overlay so concurrent
+// queries can materialize temps under the same alias without clashing in
+// the session catalog.
+func (qc *queryCtx) tempCat() *catalog.Catalog {
+	if !qc.overlay {
+		qc.cat = qc.cat.Overlay()
+		qc.overlay = true
+	}
+	return qc.cat
 }
 
 // Query parses and runs a SQL statement in the given mode.
@@ -49,18 +97,43 @@ func (s *Session) Query(sql string, mode Mode) (*Result, error) {
 // QueryTimeout (if any) is nested inside ctx. Internal panics anywhere on
 // the query path are recovered and returned as errors — a faulty query
 // never kills the process.
+//
+// QueryContext is safe to call from any number of goroutines. When
+// Options.MaxConcurrentQueries is set, excess calls queue here until a
+// slot frees or ctx is done.
 func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s.mu.Lock()
+	// Admission control: bound the queries executing at once so the
+	// morsel scheduler isn't oversubscribed. Queued callers stay
+	// cancelable.
+	var queued time.Duration
+	if s.admit != nil {
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			waitStart := time.Now()
+			select {
+			case s.admit <- struct{}{}:
+				queued = time.Since(waitStart)
+				s.queueNanos.Add(int64(queued))
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %w", errs.ErrCanceled, ctx.Err())
+			}
+		}
+		defer func() { <-s.admit }()
+	}
+	s.mu.RLock()
 	timeout := s.queryTimeout
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	s.queriesStarted.Add(1)
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -74,6 +147,17 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			err = fmt.Errorf("%w: %w", errs.ErrCanceled, err)
 		}
+		elapsed := time.Since(start)
+		s.queryNanos.Add(int64(elapsed))
+		if err != nil {
+			s.queriesFailed.Add(1)
+			return
+		}
+		s.queriesCompleted.Add(1)
+		s.rowsScanned.Add(int64(res.RowsScanned))
+		res.Stats.WallTime = elapsed
+		res.Stats.QueueWait = queued
+		res.Stats.RowsScanned = res.RowsScanned
 	}()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -82,33 +166,35 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", errs.ErrParse, err)
 	}
-	return s.runStmt(ctx, stmt, mode, 0)
+	qc := &queryCtx{cat: s.cat, cache: s.stateCache()}
+	return s.runStmt(ctx, qc, stmt, mode, 0)
 }
 
-func (s *Session) runStmt(ctx context.Context, stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, error) {
+func (s *Session) runStmt(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, error) {
 	if depth > 4 {
 		return nil, fmt.Errorf("subquery nesting too deep")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Materialize derived tables bottom-up.
+	// Materialize derived tables bottom-up, into the query's private
+	// catalog overlay (never the shared session catalog).
 	var temps []string
 	defer func() {
 		for _, t := range temps {
-			s.cat.Drop(t)
+			qc.cat.Drop(t)
 		}
 	}()
 	for i, ref := range stmt.From {
 		if ref.Sub == nil {
 			continue
 		}
-		sub, err := s.runStmt(ctx, ref.Sub, mode, depth+1)
+		sub, err := s.runStmt(ctx, qc, ref.Sub, mode, depth+1)
 		if err != nil {
 			return nil, err
 		}
 		sub.Table.Name = ref.Alias
-		if err := s.cat.Register(sub.Table); err != nil {
+		if err := qc.tempCat().Register(sub.Table); err != nil {
 			return nil, err
 		}
 		temps = append(temps, ref.Alias)
@@ -134,14 +220,14 @@ func (s *Session) runStmt(ctx context.Context, stmt *sqlparse.Stmt, mode Mode, d
 	}
 
 	if !s.hasAggregates(stmt) && len(stmt.GroupBy) == 0 {
-		r, err := s.eng.RunSimple(ctx, stmt)
+		r, err := s.eng.RunSimpleIn(ctx, qc.cat, stmt)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Table: r.Table, RowsScanned: r.Rows, Groups: r.Groups}, nil
 	}
 
-	dp, err := s.eng.PrepareData(stmt)
+	dp, err := s.eng.PrepareDataIn(qc.cat, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -175,12 +261,31 @@ func (s *Session) runStmt(ctx context.Context, stmt *sqlparse.Stmt, mode Mode, d
 		if err != nil {
 			return nil, err
 		}
-		res := &Result{Table: out.Table, RowsScanned: gr.Rows, Groups: out.Groups, NumericFaults: out.NumericFaults}
+		qc.noteKernels(gr)
+		res := &Result{Table: out.Table, RowsScanned: gr.Rows, Groups: out.Groups,
+			NumericFaults: out.NumericFaults, Stats: qc.stats}
 		noteNumericFaults(res)
 		return res, nil
 	}
 
-	return s.runSUDAF(ctx, stmt, dp, calls, spec, reg, mode)
+	return s.runSUDAF(ctx, qc, stmt, dp, calls, spec, reg, mode)
+}
+
+// noteKernels merges a group result's kernel names into the query stats
+// (deduplicated — subqueries may run the same kernels again).
+func (qc *queryCtx) noteKernels(gr *exec.GroupResult) {
+	for _, k := range gr.Kernels {
+		dup := false
+		for _, have := range qc.stats.Kernels {
+			if have == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			qc.stats.Kernels = append(qc.stats.Kernels, k)
+		}
+	}
 }
 
 // noteNumericFaults records a degradation event for tolerated numeric
@@ -216,7 +321,7 @@ type slot struct {
 }
 
 // runSUDAF executes a query in ModeRewrite or ModeShare.
-func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.DataPlan, calls []*expr.Call,
+func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt, dp *exec.DataPlan, calls []*expr.Call,
 	spec exec.OutputSpec, reg *exec.TaskRegistry, mode Mode) (*Result, error) {
 
 	// events accumulates degradation notes (cache faults survived, states
@@ -265,7 +370,7 @@ func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.Da
 			if st.Op != canonical.OpCount {
 				bs.Base = expr.Simplify(expr.Substitute(st.Base, bind))
 			}
-			callSlots[j] = getSlot(bs, s.basePositive(bs.Base, dp.Tables()))
+			callSlots[j] = getSlot(bs, basePositive(qc.cat, bs.Base, dp.Tables()))
 		}
 		tfn, err := form.CompileT()
 		if err != nil {
@@ -283,18 +388,31 @@ func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.Da
 	}
 
 	// Cache consultation (share mode only). Guarded: a cache that panics
-	// behaves like a cache that misses.
+	// behaves like a cache that misses. The query runs against its
+	// admission-time cache snapshot (qc.cache) throughout, so a
+	// concurrent ClearCache can't split one query across two caches.
 	var entry *cache.GroupTable
 	entryOK := false
 	if mode == ModeShare {
 		guard("entry lookup", func() {
-			entry, entryOK = s.cache.Entry(dp.Fingerprint)
+			entry, entryOK = qc.cache.Entry(dp.Fingerprint)
 		})
 		for _, key := range slotOrder {
 			sl := slots[key]
 			guard("state lookup", func() {
-				if vals, ok := s.cache.Lookup(dp.Fingerprint, sl.st, sl.positive); ok {
+				vals, kind, ok := qc.cache.LookupKind(dp.Fingerprint, sl.st, sl.positive)
+				if ok {
 					sl.cached = vals
+				}
+				switch kind {
+				case cache.HitExact:
+					qc.stats.CacheExactHits++
+				case cache.HitShared:
+					qc.stats.CacheSharedHits++
+				case cache.HitSign:
+					qc.stats.CacheSignHits++
+				default:
+					qc.stats.CacheMisses++
 				}
 			})
 		}
@@ -310,8 +428,8 @@ func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.Da
 	// Aggregate-view rewriting for the missing states (Q3 → RQ3').
 	dpRun := dp
 	usedView := ""
-	if len(missing) > 0 && s.EnableViewRewriting && len(s.views) > 0 && !entryOK {
-		if dpv, rollup, name := s.tryViews(dp, missing); dpv != nil {
+	if len(missing) > 0 && s.ViewRewriting() && !entryOK {
+		if dpv, rollup, name := s.tryViews(qc, dp, missing); dpv != nil {
 			dpRun = dpv
 			usedView = name
 			for _, sl := range missing {
@@ -355,6 +473,7 @@ func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.Da
 		if err != nil {
 			return nil, err
 		}
+		qc.noteKernels(gr)
 	}
 
 	// Assemble the value matrix: task outputs first, then cached arrays
@@ -396,7 +515,7 @@ func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.Da
 				_ = gt.AddState(&cache.CachedState{State: cs.st, Vals: gr.Values[cs.taskIdx]})
 			}
 			if gt.NumStates() > 0 {
-				s.cache.Put(gt)
+				qc.cache.Put(gt)
 			}
 		})
 	}
@@ -406,7 +525,7 @@ func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.Da
 		return nil, err
 	}
 	if mode == ModeShare {
-		events = append(events, s.cache.DrainEvents()...)
+		events = append(events, qc.cache.DrainEvents()...)
 	}
 	res := &Result{
 		Table:         out.Table,
@@ -416,6 +535,7 @@ func (s *Session) runSUDAF(ctx context.Context, stmt *sqlparse.Stmt, dp *exec.Da
 		FullCacheHit:  fullHit,
 		NumericFaults: out.NumericFaults,
 		Events:        events,
+		Stats:         qc.stats,
 	}
 	noteNumericFaults(res)
 	return res, nil
@@ -592,13 +712,14 @@ func builtinFormDef(name string) (body string, params []string) {
 
 // basePositive conservatively decides whether a bound base expression is
 // strictly positive on the given tables (column min stats, products and
-// even powers of positives).
-func (s *Session) basePositive(base expr.Node, tables []string) bool {
+// even powers of positives). It resolves columns against the query's
+// catalog view so subquery temporaries are considered too.
+func basePositive(cat *catalog.Catalog, base expr.Node, tables []string) bool {
 	switch t := base.(type) {
 	case *expr.Num:
 		return t.Val > 0
 	case *expr.Var:
-		tbl, err := s.cat.ResolveColumn(t.Name, tables)
+		tbl, err := cat.ResolveColumn(t.Name, tables)
 		if err != nil {
 			return false
 		}
@@ -607,9 +728,9 @@ func (s *Session) basePositive(base expr.Node, tables []string) bool {
 	case *expr.Bin:
 		switch t.Op {
 		case '*', '/', '+':
-			return s.basePositive(t.L, tables) && s.basePositive(t.R, tables)
+			return basePositive(cat, t.L, tables) && basePositive(cat, t.R, tables)
 		case '^':
-			return s.basePositive(t.L, tables)
+			return basePositive(cat, t.L, tables)
 		}
 		return false
 	case *expr.Call:

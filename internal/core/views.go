@@ -65,7 +65,7 @@ func (s *Session) Materialize(name, sql string) error {
 			}
 			seen[bs.Key()] = true
 			states = append(states, bs)
-			positives = append(positives, s.basePositive(bs.Base, dp.Tables()))
+			positives = append(positives, basePositive(s.cat, bs.Base, dp.Tables()))
 		}
 	}
 	reg := exec.NewTaskRegistry()
@@ -103,7 +103,7 @@ func (s *Session) Materialize(name, sql string) error {
 	for i, st := range states {
 		_ = gt.AddState(&cache.CachedState{State: st, Vals: gr.Values[i], PositiveInput: positives[i]})
 	}
-	s.cache.Put(gt)
+	s.stateCache().Put(gt)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -138,32 +138,34 @@ func (s *Session) Views() []string {
 
 // tryViews attempts a roll-up rewriting of the query's missing states
 // from any registered view, returning the prepared roll-up data plan.
-func (s *Session) tryViews(dp *exec.DataPlan, missing []*slot) (*exec.DataPlan, *rewrite.Rollup, string) {
+// The views map is snapshotted under the read lock; column resolution
+// and planning use the query's catalog view.
+func (s *Session) tryViews(qc *queryCtx, dp *exec.DataPlan, missing []*slot) (*exec.DataPlan, *rewrite.Rollup, string) {
 	info := dp.Info()
 	states := make([]canonical.State, len(missing))
 	for i, sl := range missing {
 		states[i] = sl.st
 	}
 	colOwner := func(col string) string {
-		t, err := s.cat.ResolveColumn(col, info.Tables)
+		t, err := qc.cat.ResolveColumn(col, info.Tables)
 		if err != nil {
 			return ""
 		}
 		return t.Name
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	views := make([]*rewrite.View, 0, len(s.views))
 	for _, v := range s.views {
 		views = append(views, v)
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	for _, v := range views {
 		rollup, reason := rewrite.TryRollup(info, states, v, colOwner)
 		if rollup == nil {
 			_ = reason
 			continue
 		}
-		dpv, err := s.eng.PrepareData(rollup.Stmt)
+		dpv, err := s.eng.PrepareDataIn(qc.cat, rollup.Stmt)
 		if err != nil {
 			continue
 		}

@@ -73,6 +73,9 @@ type GroupResult struct {
 	Values     [][]float64 // Values[taskIdx][groupID]
 	// Rows is the number of joined base rows aggregated (observability).
 	Rows int
+	// Kernels names the tasks that ran through compiled batch kernels
+	// (per-query observability; empty when everything ran tuple-at-a-time).
+	Kernels []string
 }
 
 // materializeKeys decodes the composite keys into storage columns.
@@ -143,13 +146,22 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 		workers = 1
 	}
 
-	// Which tasks run vectorized: resolved once, vec scratch allocated per
-	// worker (tasks are shared across workers; VecStates must not be).
+	// Which tasks run vectorized: resolved once (the knob is snapshotted
+	// here, so a concurrent toggle never splits one query across paths),
+	// with vec scratch allocated per worker (tasks are shared across
+	// workers; VecStates must not be). A task whose NewVecState declines
+	// is demoted to the scalar path up front, and accepted kernels are
+	// recorded for per-query observability.
+	useVec := !e.disableVec.Load()
 	vecTasks := make([]VectorTask, len(tasks))
-	if !e.DisableVectorKernels {
+	var kernels []string
+	if useVec {
 		for t, task := range tasks {
 			if vt, ok := task.(VectorTask); ok {
-				vecTasks[t] = vt
+				if probe := vt.NewVecState(); probe != nil {
+					vecTasks[t] = vt
+					kernels = append(kernels, task.Name())
+				}
 			}
 		}
 	}
@@ -164,7 +176,7 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 	var denseInts []int64
 	var denseCodes []int32
 	var denseRows []int32
-	if !e.DisableVectorKernels {
+	if useVec {
 		switch {
 		case len(dp.groupBy) == 1:
 			if d := keyDomainOf(dp.groupBy[0].col); d.dense {
@@ -184,41 +196,59 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 
 	var cursor atomic.Int64
 	var abort atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Worker-private batch scratch: group ids for one batch, plus
-			// each vectorized task's kernel buffers.
-			gids := make([]int32, BatchSize)
-			vecStates := make([]VecState, len(tasks))
-			for t, vt := range vecTasks {
-				if vt != nil {
-					vecStates[t] = vt.NewVecState()
-				}
+	workerBody := func() {
+		// Worker-private batch scratch: group ids for one batch, plus
+		// each vectorized task's kernel buffers.
+		gids := make([]int32, BatchSize)
+		vecStates := make([]VecState, len(tasks))
+		for t, vt := range vecTasks {
+			if vt != nil {
+				vecStates[t] = vt.NewVecState()
 			}
-			var lookup []int32
-			if lookupLen > 0 {
-				lookup = make([]int32, lookupLen)
+		}
+		var lookup []int32
+		if lookupLen > 0 {
+			lookup = make([]int32, lookupLen)
+		}
+		dense := denseKeys{lookup: lookup, base0: denseBase0, base1: denseBase1, width1: denseWidth1,
+			ints: denseInts, codes: denseCodes, rows: denseRows}
+		for !abort.Load() {
+			m := int(cursor.Add(1)) - 1
+			if m >= nMorsels {
+				return
 			}
-			dense := denseKeys{lookup: lookup, base0: denseBase0, base1: denseBase1, width1: denseWidth1,
-				ints: denseInts, codes: denseCodes, rows: denseRows}
-			for !abort.Load() {
-				m := int(cursor.Add(1)) - 1
-				if m >= nMorsels {
-					return
-				}
-				la := &localAgg{index: map[GroupKey]int32{}, partials: make([]Partial, len(tasks))}
-				locals[m] = la
-				la.err = e.runMorsel(ctx, rs, tasks, vecTasks, vecStates, keyFns, packable, dense, m, gids, la.index, &la.keys, la.partials)
-				if la.err != nil {
-					abort.Store(true)
-					return
-				}
+			la := &localAgg{index: map[GroupKey]int32{}, partials: make([]Partial, len(tasks))}
+			locals[m] = la
+			la.err = e.runMorsel(ctx, rs, tasks, vecTasks, vecStates, keyFns, packable, dense, m, gids, la.index, &la.keys, la.partials)
+			if la.err != nil {
+				abort.Store(true)
+				return
 			}
-		}()
+		}
 	}
+
+	// Helper workers draw tokens from the engine-wide pool, which is shared
+	// by every concurrent query so N simultaneous aggregations never run
+	// more than Engine.Workers goroutines in total. The acquire is
+	// non-blocking: if the pool is drained by other queries, this query
+	// simply runs on fewer workers. The calling goroutine always
+	// participates without a token, so every query makes progress even when
+	// the pool is empty (and a single-threaded query needs no token at all).
+	var wg sync.WaitGroup
+	for w := 0; w < workers-1; w++ {
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-e.sem }()
+				defer wg.Done()
+				workerBody()
+			}()
+		default:
+			w = workers - 1 // pool drained; stop trying
+		}
+	}
+	workerBody()
 	wg.Wait()
 
 	// Fault barrier: join worker errors (cancellation, injected faults,
@@ -242,7 +272,7 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 	// Merge morsel partials in morsel-index order: group order equals
 	// first appearance in global row order, exactly as a serial scan would
 	// produce, regardless of which worker ran which morsel.
-	gr := &GroupResult{Rows: rs.n}
+	gr := &GroupResult{Rows: rs.n, Kernels: kernels}
 	globalIndex := map[GroupKey]int32{}
 	var globalKeys []GroupKey
 	merged := make([]Partial, len(tasks))

@@ -104,7 +104,7 @@ func TestVectorizedMatchesTuple(t *testing.T) {
 	} {
 		vec := NewEngine(cat, 4)
 		tup := NewEngine(cat, 4)
-		tup.DisableVectorKernels = true
+		tup.SetVectorKernels(false)
 		assertIdentical(t, sql, runStates(t, vec, sql, states), runStates(t, tup, sql, states))
 	}
 }
@@ -129,7 +129,7 @@ func TestMorselDeterminism(t *testing.T) {
 	}
 	// And the tuple path agrees with all of them.
 	tup := NewEngine(cat, 8)
-	tup.DisableVectorKernels = true
+	tup.SetVectorKernels(false)
 	assertIdentical(t, "tuple-path", want, runStates(t, tup, sql, states))
 }
 
@@ -200,7 +200,7 @@ func TestVectorizedMatchesTupleAdversarial(t *testing.T) {
 		for _, workers := range []int{1, 4} {
 			vec := NewEngine(cat, workers)
 			tup := NewEngine(cat, workers)
-			tup.DisableVectorKernels = true
+			tup.SetVectorKernels(false)
 			label := fmt.Sprintf("%s workers=%d", sql, workers)
 			assertIdentical(t, label, runStates(t, vec, sql, states), runStates(t, tup, sql, states))
 		}
@@ -223,7 +223,7 @@ func TestEmptySelectionIdentities(t *testing.T) {
 	want := []float64{math.Inf(1), math.Inf(-1), 1, 0, 0}
 	for _, disable := range []bool{false, true} {
 		e := NewEngine(cat, 2)
-		e.DisableVectorKernels = disable
+		e.SetVectorKernels(!disable)
 		gr := runStates(t, e, "SELECT min(v) FROM adv WHERE g > 100", states)
 		if gr.NumGroups != 1 {
 			t.Fatalf("disable=%v: %d groups, want 1", disable, gr.NumGroups)

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"sudaf/internal/catalog"
 	"sudaf/internal/faultinject"
@@ -13,17 +14,28 @@ import (
 	"sudaf/internal/storage"
 )
 
-// Engine executes queries against a catalog.
+// Engine executes queries against a catalog. It is safe for concurrent
+// use: any number of goroutines may run queries at once, sharing one
+// worker-token pool so the morsel scheduler is never oversubscribed (see
+// aggregate).
 type Engine struct {
 	Cat *catalog.Catalog
 	// Workers is the parallelism degree: 1 models the single-threaded
 	// PostgreSQL setting, runtime.NumCPU() the Spark cluster setting.
+	// Under concurrent queries it is the *total* helper budget shared by
+	// all of them, not a per-query figure.
 	Workers int
-	// DisableVectorKernels forces every task onto the tuple-at-a-time
-	// Accumulate path even when it implements VectorTask. Used by the
-	// kernel benchmarks and the batch≡tuple differential tests; results
-	// are identical either way, only throughput differs.
-	DisableVectorKernels bool
+	// disableVec forces every task onto the tuple-at-a-time Accumulate
+	// path even when it implements VectorTask. Used by the kernel
+	// benchmarks and the batch≡tuple differential tests; results are
+	// identical either way, only throughput differs. Atomic so the knob
+	// can be flipped while queries are in flight.
+	disableVec atomic.Bool
+	// sem holds Workers-1 helper tokens shared across all concurrent
+	// aggregations: each query's calling goroutine always participates
+	// as a worker (guaranteeing progress without a token), and extra
+	// workers spawn only while tokens are available.
+	sem chan struct{}
 }
 
 // NewEngine creates an engine; workers < 1 defaults to all CPUs.
@@ -31,8 +43,15 @@ func NewEngine(cat *catalog.Catalog, workers int) *Engine {
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
-	return &Engine{Cat: cat, Workers: workers}
+	return &Engine{Cat: cat, Workers: workers, sem: make(chan struct{}, workers-1)}
 }
+
+// SetVectorKernels toggles the batch aggregation kernels (on by default).
+// Safe to call while queries run; each query snapshots the knob once.
+func (e *Engine) SetVectorKernels(on bool) { e.disableVec.Store(!on) }
+
+// VectorKernels reports whether the batch kernels are enabled.
+func (e *Engine) VectorKernels() bool { return !e.disableVec.Load() }
 
 // joinCond is an equi-join between two table columns.
 type joinCond struct {
@@ -79,15 +98,24 @@ func (dp *DataPlan) Tables() []string {
 	return out
 }
 
-// PrepareData resolves the FROM/WHERE/GROUP BY part of a statement.
-// Subqueries must have been materialized by the caller.
+// PrepareData resolves the FROM/WHERE/GROUP BY part of a statement
+// against the engine's session catalog. Subqueries must have been
+// materialized by the caller.
 func (e *Engine) PrepareData(stmt *sqlparse.Stmt) (*DataPlan, error) {
+	return e.PrepareDataIn(e.Cat, stmt)
+}
+
+// PrepareDataIn resolves the FROM/WHERE/GROUP BY part of a statement
+// against an explicit catalog — typically a per-query overlay holding
+// materialized subqueries on top of the session catalog. Subqueries must
+// have been materialized by the caller.
+func (e *Engine) PrepareDataIn(cat *catalog.Catalog, stmt *sqlparse.Stmt) (*DataPlan, error) {
 	dp := &DataPlan{eng: e, filters: map[string]sqlparse.Pred{}}
 	for _, ref := range stmt.From {
 		if ref.Sub != nil {
 			return nil, fmt.Errorf("subquery %q must be materialized before PrepareData", ref.RefName())
 		}
-		t, err := e.Cat.Table(ref.Name)
+		t, err := cat.Table(ref.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -98,11 +126,11 @@ func (e *Engine) PrepareData(stmt *sqlparse.Stmt) (*DataPlan, error) {
 	// Classify WHERE conjuncts into join conditions and per-table filters.
 	for _, conj := range sqlparse.Conjuncts(stmt.Where) {
 		if cmp, ok := conj.(*sqlparse.Cmp); ok && cmp.Op == "=" && cmp.L.IsCol && cmp.R.IsCol {
-			lt, err := e.Cat.ResolveColumn(cmp.L.Col, names)
+			lt, err := cat.ResolveColumn(cmp.L.Col, names)
 			if err != nil {
 				return nil, err
 			}
-			rt, err := e.Cat.ResolveColumn(cmp.R.Col, names)
+			rt, err := cat.ResolveColumn(cmp.R.Col, names)
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +142,7 @@ func (e *Engine) PrepareData(stmt *sqlparse.Stmt) (*DataPlan, error) {
 			}
 		}
 		// Single-table filter (or same-table column comparison).
-		owner, err := predOwner(e.Cat, conj, names)
+		owner, err := predOwner(cat, conj, names)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +154,7 @@ func (e *Engine) PrepareData(stmt *sqlparse.Stmt) (*DataPlan, error) {
 	}
 
 	for _, g := range stmt.GroupBy {
-		t, err := e.Cat.ResolveColumn(g, names)
+		t, err := cat.ResolveColumn(g, names)
 		if err != nil {
 			return nil, err
 		}

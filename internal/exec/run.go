@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"sudaf/internal/catalog"
 	"sudaf/internal/errs"
 	"sudaf/internal/expr"
 	"sudaf/internal/sqlparse"
@@ -432,10 +433,17 @@ func sortLimit(t *storage.Table, stmt *sqlparse.Stmt) error {
 // row-wise projection (used for materializing plain derived tables).
 // Projection loops poll ctx cooperatively.
 func (e *Engine) RunSimple(ctx context.Context, stmt *sqlparse.Stmt) (*Result, error) {
+	return e.RunSimpleIn(ctx, e.Cat, stmt)
+}
+
+// RunSimpleIn is RunSimple resolving tables against an explicit catalog
+// (a per-query overlay, so concurrent queries materializing subqueries
+// under the same alias never see each other's temporaries).
+func (e *Engine) RunSimpleIn(ctx context.Context, cat *catalog.Catalog, stmt *sqlparse.Stmt) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	dp, err := e.PrepareData(stmt)
+	dp, err := e.PrepareDataIn(cat, stmt)
 	if err != nil {
 		return nil, err
 	}

@@ -103,9 +103,24 @@ func isIdentPart(r rune) bool {
 // parser is a recursive-descent parser with standard precedence:
 // ^ (right-assoc, binds tightest), unary -, then * /, then + -.
 type parser struct {
-	toks []token
-	i    int
-	src  string
+	toks  []token
+	i     int
+	src   string
+	depth int
+}
+
+// maxParseDepth bounds expression nesting. The parser (and every AST
+// consumer after it: String, Simplify, Eval, Walk) recurses per nesting
+// level, so unbounded input depth means an unrecoverable goroutine stack
+// overflow. 500 is far beyond any real UDAF definition.
+const maxParseDepth = 500
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("expression nested deeper than %d levels", maxParseDepth)
+	}
+	return nil
 }
 
 // Parse parses a UDAF expression into an AST.
@@ -144,6 +159,10 @@ func (p *parser) expect(kind tokKind, what string) (token, error) {
 }
 
 func (p *parser) parseAdd() (Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	left, err := p.parseMul()
 	if err != nil {
 		return nil, err
@@ -184,6 +203,10 @@ func (p *parser) parseMul() (Node, error) {
 }
 
 func (p *parser) parseUnary() (Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	t := p.peek()
 	if t.kind == tokOp && t.text == "-" {
 		p.next()

@@ -1,0 +1,76 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the SQL parser with arbitrary input: any input either
+// parses or returns an error — never a panic or runaway recursion. For
+// statements that parse, the derived helpers (Conjuncts, PredColumns,
+// PredString, OutputName) must hold up on the resulting AST.
+// TestParseDepthLimit pins the fix for a fuzzing find: deeply nested
+// subqueries, parenthesized expressions or predicate groups used to
+// overflow the goroutine stack fatally. The parser now errors out.
+func TestParseDepthLimit(t *testing.T) {
+	deep := []string{
+		strings.Repeat("SELECT a FROM (", 100_000) + "SELECT a FROM t" + strings.Repeat(") s", 100_000),
+		"SELECT " + strings.Repeat("(", 100_000) + "a" + strings.Repeat(")", 100_000) + " FROM t",
+		"SELECT a FROM t WHERE " + strings.Repeat("(", 100_000) + "a=1" + strings.Repeat(")", 100_000),
+		"SELECT " + strings.Repeat("-", 100_000) + "a FROM t",
+	}
+	for _, src := range deep {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected depth error for %d-byte input", len(src))
+		}
+	}
+	// Moderate nesting stays legal.
+	if _, err := Parse(strings.Repeat("SELECT a FROM (", 50) + "SELECT a FROM t" + strings.Repeat(") s", 50)); err != nil {
+		t.Errorf("50-deep subquery should parse: %v", err)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT square_id, qm(internet_traffic) FROM milan_data GROUP BY square_id ORDER BY square_id LIMIT 20",
+		"SELECT a, sum(b*2) s FROM t WHERE a > 1 AND b < 2 OR c = 'x' GROUP BY a ORDER BY s DESC LIMIT 5",
+		"SELECT t1.a, avg(t2.b) FROM t1 JOIN t2 ON t1.k = t2.k GROUP BY t1.a",
+		"SELECT avg(p) FROM (SELECT price*2 p FROM sales) t",
+		"SELECT count(*) FROM t",
+		"select a from t where a >= 1.5e3",
+		"SELECT a FROM t1, t2 WHERE t1.k = t2.k",
+		// Regression seeds from earlier fuzzing sessions.
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP BY",
+		"SELECT a FROM t ORDER BY a LIMIT",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		strings.Repeat("SELECT a FROM (", 25) + "SELECT a FROM t" + strings.Repeat(") s", 25),
+		"SELECT " + strings.Repeat("(", 40) + "a" + strings.Repeat(")", 40) + " FROM t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", src)
+		}
+		for i, it := range stmt.Select {
+			_ = it.OutputName(i)
+			_ = it.Expr.String()
+		}
+		cols := map[string]bool{}
+		PredColumns(stmt.Where, cols)
+		_ = PredString(stmt.Where)
+		_ = Conjuncts(stmt.Where)
+		for _, tr := range stmt.From {
+			_ = tr.RefName()
+		}
+	})
+}

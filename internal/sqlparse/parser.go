@@ -128,8 +128,22 @@ func isSQLIdentPart(r rune) bool {
 }
 
 type sqlParser struct {
-	toks []tok
-	i    int
+	toks  []tok
+	i     int
+	depth int
+}
+
+// maxParseDepth bounds statement nesting — subqueries, parenthesized
+// expressions and predicate groups all recurse per level, and unbounded
+// input depth would overflow the goroutine stack unrecoverably.
+const maxParseDepth = 500
+
+func (p *sqlParser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("statement nested deeper than %d levels", maxParseDepth)
+	}
+	return nil
 }
 
 // Parse parses a SELECT statement.
@@ -187,6 +201,10 @@ var reservedKw = map[string]bool{
 }
 
 func (p *sqlParser) parseSelect() (*Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	if err := p.expectKw("select"); err != nil {
 		return nil, err
 	}
@@ -410,6 +428,10 @@ func (p *sqlParser) parseAnd() (Pred, error) {
 }
 
 func (p *sqlParser) parsePredAtom() (Pred, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	if p.peek().kind == tLParen {
 		p.next()
 		pred, err := p.parseOr()
@@ -494,6 +516,10 @@ func (p *sqlParser) parseExpr() (expr.Node, error) {
 }
 
 func (p *sqlParser) parseAddE() (expr.Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	left, err := p.parseMulE()
 	if err != nil {
 		return nil, err
@@ -538,6 +564,10 @@ func (p *sqlParser) parseMulE() (expr.Node, error) {
 }
 
 func (p *sqlParser) parseUnaryE() (expr.Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	t := p.peek()
 	if t.kind == tOp && t.text == "-" {
 		p.next()

@@ -88,6 +88,16 @@ type RowIter = core.RowIter
 // CacheStats reports cache activity (exact, shared and sign-split hits).
 type CacheStats = cache.Stats
 
+// QueryStats is the per-query observability record on Result.Stats:
+// wall time, admission queue wait, rows scanned, cache hit breakdown and
+// the batch kernels used.
+type QueryStats = core.QueryStats
+
+// EngineStats are engine-lifetime aggregate counters (queries started /
+// completed / failed, total rows scanned, cumulative query time and
+// admission queue wait), maintained atomically across concurrent queries.
+type EngineStats = core.EngineStats
+
 // Storage re-exports, so applications can build and load tables without
 // importing internal packages.
 type (
@@ -130,6 +140,12 @@ func LoadCSVWith(name, path string, opts CSVOptions) (*Table, int, error) {
 
 // Engine is a SUDAF instance: a catalog of tables, a UDAF registry, the
 // state cache and the execution engine.
+//
+// An Engine is safe for concurrent use: any number of goroutines may
+// call Query/QueryContext/QueryBatches/Materialize and the setters
+// simultaneously. Queries share the striped state cache and the
+// engine-wide worker pool; Options.MaxConcurrentQueries bounds how many
+// execute at once (excess callers queue, honoring their context).
 type Engine struct {
 	s *core.Session
 }
@@ -245,8 +261,11 @@ func (e *Engine) ResetCacheStats() { e.s.ResetCacheStats() }
 // ClearCache drops all cached aggregation states.
 func (e *Engine) ClearCache() { e.s.ClearCache() }
 
+// Stats returns engine-lifetime aggregate counters.
+func (e *Engine) Stats() EngineStats { return e.s.Stats() }
+
 // EnableViews toggles aggregate-view rewriting.
-func (e *Engine) EnableViews(on bool) { e.s.EnableViewRewriting = on }
+func (e *Engine) EnableViews(on bool) { e.s.SetViewRewriting(on) }
 
 // SymbolicSpaceDump renders the precomputed symbolic sharing space
 // (states, edges, equivalence classes — Figures 4/5 of the paper).
