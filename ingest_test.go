@@ -1,0 +1,417 @@
+package sudaf_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sudaf"
+)
+
+// ---- data model for the ingestion tests ----
+//
+// tr(g int, tag string, v float, one float): v is integer-valued except
+// for injected NaN/±Inf rows, so sums and sums-of-squares are exact in
+// float64 and incremental maintenance must be *bit*-identical to a cold
+// recompute; `one` is the constant 1 (snapshot-tear detector).
+
+func trSchema() *sudaf.Table {
+	return sudaf.NewTable("tr",
+		sudaf.NewColumn("g", sudaf.Int),
+		sudaf.NewColumn("tag", sudaf.String),
+		sudaf.NewColumn("v", sudaf.Float),
+		sudaf.NewColumn("one", sudaf.Float))
+}
+
+func addRow(t *sudaf.Table, g int64, tag string, v float64) {
+	t.Col("g").AppendInt(g)
+	t.Col("tag").AppendString(tag)
+	t.Col("v").AppendFloat(v)
+	t.Col("one").AppendFloat(1)
+}
+
+// ingestBatches builds the base table plus adversarial delta batches:
+// NaN mixed into an existing group, an empty batch, brand-new groups and
+// a brand-new dictionary string, +Inf, and a later -Inf landing in the
+// same group as the earlier +Inf (so only the merged total goes NaN).
+func ingestBatches() []*sudaf.Table {
+	var tags = []string{"a", "b", "c"}
+	base := trSchema()
+	for i := 0; i < 1000; i++ {
+		addRow(base, int64(i%5), tags[i%3], float64(i%7))
+	}
+	b1 := trSchema()
+	for i := 0; i < 200; i++ {
+		v := float64(i%9 + 1)
+		if i%50 == 0 {
+			v = math.NaN()
+		}
+		addRow(b1, int64(i%5), tags[i%2], v)
+	}
+	b2 := trSchema() // empty batch: must be a version-preserving no-op
+	b3 := trSchema()
+	for i := 0; i < 150; i++ {
+		addRow(b3, int64(7+i%2), "zebra", float64(i%4)) // new groups, new string
+	}
+	addRow(b3, 2, "a", math.Inf(1))
+	b4 := trSchema()
+	for i := 0; i < 300; i++ {
+		addRow(b4, int64(i%9), tags[i%3], float64(i%11))
+	}
+	addRow(b4, 2, "b", math.Inf(-1)) // meets b3's +Inf in group g=2
+	return []*sudaf.Table{base, b1, b2, b3, b4}
+}
+
+// concatBatches materializes batches[0..k] as one cold table.
+func concatBatches(batches []*sudaf.Table, k int) *sudaf.Table {
+	out := trSchema()
+	for _, b := range batches[:k+1] {
+		for i := 0; i < b.NumRows(); i++ {
+			addRow(out, b.Col("g").I[i], b.Col("tag").StringAt(i), b.Col("v").F[i])
+		}
+	}
+	return out
+}
+
+func openTR(t *testing.T, tbl *sudaf.Table) *sudaf.Engine {
+	t.Helper()
+	eng := sudaf.Open(sudaf.Options{Workers: 2})
+	if err := eng.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// ingestQueries pairs each differential query with its group-by arity.
+var ingestQueries = []struct {
+	sql  string
+	keys int
+}{
+	{"SELECT g, count(*), min(v), max(v) FROM tr GROUP BY g", 1},
+	{"SELECT tag, sum(v), qm(v) FROM tr GROUP BY tag", 1},
+	{"SELECT sum(v), count(*) FROM tr", 0},
+	{"SELECT g, sum(v) FROM tr WHERE v > 0 GROUP BY g", 1},
+}
+
+// resultMap canonicalizes a result for order-independent bit comparison:
+// group key strings → aggregate value bit patterns (NaNs normalized).
+func resultMap(res *sudaf.Result, keyCols int) map[string][]uint64 {
+	out := map[string][]uint64{}
+	for r := 0; r < res.Table.NumRows(); r++ {
+		var key []string
+		for c := 0; c < keyCols; c++ {
+			key = append(key, res.Table.Cols[c].ValueString(r))
+		}
+		var vals []uint64
+		for c := keyCols; c < len(res.Table.Cols); c++ {
+			v := res.Table.Cols[c].AsFloat(r)
+			if math.IsNaN(v) {
+				v = math.NaN()
+			}
+			vals = append(vals, math.Float64bits(v))
+		}
+		out[strings.Join(key, "|")] = vals
+	}
+	return out
+}
+
+func sameResultMaps(a, b map[string][]uint64) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("group counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			return fmt.Sprintf("group %q missing", k)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return fmt.Sprintf("group %q col %d: %v vs %v",
+					k, i, math.Float64frombits(av[i]), math.Float64frombits(bv[i]))
+			}
+		}
+	}
+	return ""
+}
+
+var allModes = []sudaf.Mode{sudaf.Baseline, sudaf.Rewrite, sudaf.Share}
+
+// TestAppendDifferential is the tentpole acceptance test: after every
+// append batch, every query in every mode on the incrementally grown
+// engine must be bit-identical to a cold engine over the concatenated
+// data — including NaN/±Inf deltas, an empty batch and brand-new groups.
+// Share mode exercises delta-maintained cache entries specifically: from
+// the second round on it must answer fully from the migrated cache.
+func TestAppendDifferential(t *testing.T) {
+	batches := ingestBatches()
+	eng := openTR(t, batches[0])
+	ctx := context.Background()
+
+	for k := 0; k < len(batches); k++ {
+		if k > 0 {
+			res, err := eng.Append(ctx, "tr", batches[k])
+			if err != nil {
+				t.Fatalf("append batch %d: %v", k, err)
+			}
+			if batches[k].NumRows() == 0 {
+				if res.NewEpoch != res.OldEpoch || res.RowsAppended != 0 {
+					t.Fatalf("empty batch changed version: %+v", res)
+				}
+			} else {
+				if res.NewEpoch == res.OldEpoch {
+					t.Fatalf("batch %d: version did not advance", k)
+				}
+				if res.EntriesMigrated == 0 {
+					t.Fatalf("batch %d: no cache entries migrated (invalidated=%d, events=%v)",
+						k, res.EntriesInvalidated, res.Events)
+				}
+				if res.EntriesInvalidated != 0 {
+					t.Fatalf("batch %d: unexpected invalidations: %v", k, res.Events)
+				}
+			}
+		}
+		cold := openTR(t, concatBatches(batches, k))
+		for _, q := range ingestQueries {
+			for _, mode := range allModes {
+				got, err := eng.Query(q.sql, mode)
+				if err != nil {
+					t.Fatalf("batch %d %v %q: %v", k, mode, q.sql, err)
+				}
+				want, err := cold.Query(q.sql, mode)
+				if err != nil {
+					t.Fatalf("batch %d cold %v %q: %v", k, mode, q.sql, err)
+				}
+				if diff := sameResultMaps(resultMap(want, q.keys), resultMap(got, q.keys)); diff != "" {
+					t.Fatalf("batch %d %v %q: incremental ≠ cold: %s", k, mode, q.sql, diff)
+				}
+				if mode == sudaf.Share && k > 0 {
+					if !got.FullCacheHit || got.RowsScanned != 0 {
+						t.Fatalf("batch %d share %q: expected full hit from migrated states, got hit=%v scanned=%d",
+							k, q.sql, got.FullCacheHit, got.RowsScanned)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAppendCSV: the CSV ingestion path shares Append's semantics.
+func TestAppendCSV(t *testing.T) {
+	batches := ingestBatches()
+	eng := openTR(t, batches[0])
+	path := filepath.Join(t.TempDir(), "delta.csv")
+	if err := batches[1].SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.AppendCSV(context.Background(), "tr", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAppended != batches[1].NumRows() {
+		t.Fatalf("appended %d rows, want %d", res.RowsAppended, batches[1].NumRows())
+	}
+	cold := openTR(t, concatBatches(batches, 1))
+	q := ingestQueries[0]
+	got, err := eng.Query(q.sql, sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.Query(q.sql, sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := sameResultMaps(resultMap(want, q.keys), resultMap(got, q.keys)); diff != "" {
+		t.Fatalf("CSV append ≠ cold: %s", diff)
+	}
+}
+
+// TestViewMaintenanceOnAppend: a materialized state view is delta-folded
+// by Append, and post-append roll-ups from it match a cold recompute.
+func TestViewMaintenanceOnAppend(t *testing.T) {
+	batches := ingestBatches()
+	eng := openTR(t, batches[0])
+	if err := eng.Materialize("v_g", "SELECT g, sum(v), count(*) FROM tr GROUP BY g"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Append(context.Background(), "tr", batches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViewsMaintained != 1 || res.ViewsInvalidated != 0 {
+		t.Fatalf("views maintained=%d invalidated=%d (events %v)",
+			res.ViewsMaintained, res.ViewsInvalidated, res.Events)
+	}
+	eng.ClearCache() // force the roll-up path, not the state cache
+	got, err := eng.Query("SELECT sum(v), count(*) FROM tr", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UsedView != "v_g" {
+		t.Fatalf("post-append query used view %q, want v_g", got.UsedView)
+	}
+	if got.RowsScanned >= batches[0].NumRows() {
+		t.Fatalf("roll-up scanned %d rows — looks like a base rescan", got.RowsScanned)
+	}
+	cold := openTR(t, concatBatches(batches, 1))
+	want, err := cold.Query("SELECT sum(v), count(*) FROM tr", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := sameResultMaps(resultMap(want, 0), resultMap(got, 0)); diff != "" {
+		t.Fatalf("maintained view roll-up ≠ cold: %s", diff)
+	}
+}
+
+// TestAppendErrors: structural misuse is rejected up front.
+func TestAppendErrors(t *testing.T) {
+	eng := openTR(t, ingestBatches()[0])
+	ctx := context.Background()
+	if _, err := eng.Append(ctx, "nope", trSchema()); err == nil {
+		t.Error("append to unknown table succeeded")
+	}
+	if _, err := eng.Append(ctx, "tr", nil); err == nil {
+		t.Error("nil delta accepted")
+	}
+	bad := sudaf.NewTable("tr", sudaf.NewColumn("g", sudaf.Int))
+	if _, err := eng.Append(ctx, "tr", bad); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	if err := eng.Materialize("v_e", "SELECT g, sum(v) FROM tr GROUP BY g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Append(ctx, "v_e", trSchema()); err == nil {
+		t.Error("append to a materialized view accepted")
+	}
+}
+
+// TestAppendRacesQueries drives appends concurrently with queries in all
+// modes plus a streaming cursor, under -race in CI. Snapshot isolation
+// is asserted structurally: count(*) and sum(one) are scanned from
+// different columns, so a query observing an append mid-scan would see
+// them disagree; and every observed total must sit exactly on a batch
+// boundary of the append schedule.
+func TestAppendRacesQueries(t *testing.T) {
+	const (
+		deltaRows = 200
+		deltaN    = 12
+	)
+	base := trSchema()
+	for i := 0; i < 2000; i++ {
+		addRow(base, int64(i%6), []string{"a", "b", "c"}[i%3], float64(i%13))
+	}
+	eng := openTR(t, base)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	stop := make(chan struct{})
+
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mode := allModes[w%len(allModes)]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := eng.Query("SELECT count(*), sum(one) FROM tr", mode)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				cnt := res.Table.Cols[0].AsFloat(0)
+				one := res.Table.Cols[1].AsFloat(0)
+				if cnt != one {
+					errCh <- fmt.Errorf("%v: torn snapshot: count=%v sum(one)=%v", mode, cnt, one)
+					return
+				}
+				if extra := int(cnt) - base.NumRows(); extra < 0 || extra%deltaRows != 0 || extra > deltaN*deltaRows {
+					errCh <- fmt.Errorf("%v: total %v is not a batch boundary", mode, cnt)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // streaming cursor reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur, err := eng.QueryBatches(ctx, "SELECT g, count(*), sum(one) FROM tr GROUP BY g", sudaf.Share)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			var cnt, one float64
+			for cur.Next() {
+				b := cur.Batch()
+				for r := 0; r < b.NumRows(); r++ {
+					cnt += b.Cols[1].AsFloat(r)
+					one += b.Cols[2].AsFloat(r)
+				}
+			}
+			if err := cur.Err(); err != nil {
+				errCh <- err
+				return
+			}
+			if cnt != one {
+				errCh <- fmt.Errorf("cursor: torn snapshot: count=%v sum(one)=%v", cnt, one)
+				return
+			}
+		}
+	}()
+
+	var appended []*sudaf.Table
+	for k := 0; k < deltaN; k++ {
+		d := trSchema()
+		for i := 0; i < deltaRows; i++ {
+			addRow(d, int64((i+k)%8), []string{"a", "b", "c", "zebra"}[(i+k)%4], float64(i%10))
+		}
+		if _, err := eng.Append(ctx, "tr", d); err != nil {
+			t.Fatalf("append %d: %v", k, err)
+		}
+		appended = append(appended, d)
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Quiescent differential: the grown engine equals a cold engine.
+	cold := trSchema()
+	for _, src := range append([]*sudaf.Table{base}, appended...) {
+		for i := 0; i < src.NumRows(); i++ {
+			addRow(cold, src.Col("g").I[i], src.Col("tag").StringAt(i), src.Col("v").F[i])
+		}
+	}
+	coldEng := openTR(t, cold)
+	for _, q := range ingestQueries {
+		for _, mode := range allModes {
+			got, err := eng.Query(q.sql, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := coldEng.Query(q.sql, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := sameResultMaps(resultMap(want, q.keys), resultMap(got, q.keys)); diff != "" {
+				t.Fatalf("%v %q after racing appends: %s", mode, q.sql, diff)
+			}
+		}
+	}
+}

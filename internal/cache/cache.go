@@ -92,6 +92,13 @@ type GroupTable struct {
 	KeyNames    []string
 	Keys        []GroupKey
 	KeyCols     []*storage.Column // materialized key columns, aligned with Keys
+	// Maint is an opaque maintenance record attached by the session when
+	// the entry is Put: everything needed to re-plan this entry's data
+	// part over an append delta (statement + the table versions the
+	// states were computed at). nil means the entry cannot be delta-
+	// maintained and is invalidated (dropped) when its data changes.
+	// Set before Put and treated as immutable afterwards.
+	Maint any
 	states      []*CachedState
 	byKey       map[string]int
 	index       map[GroupKey]int
@@ -394,6 +401,9 @@ func (c *Cache) Put(gt *GroupTable) {
 			sh.entries[gt.Fingerprint] = gt
 			sh.curBytes += gt.bytes()
 		} else {
+			if gt.Maint != nil {
+				prev.Maint = gt.Maint
+			}
 			sh.curBytes += prev.bytes()
 		}
 		sh.touch(gt.Fingerprint)
@@ -430,12 +440,192 @@ func (c *Cache) evict(sh *shard) {
 	}
 }
 
+// Remove deletes the entry under a fingerprint (targeted invalidation:
+// the ingestion path retires superseded-version entries after migrating
+// them, and drops entries it cannot delta-maintain). Reports whether an
+// entry was removed.
+func (c *Cache) Remove(fp string) bool {
+	sh := c.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	gt, ok := sh.entries[fp]
+	if !ok {
+		return false
+	}
+	sh.curBytes -= gt.bytes()
+	delete(sh.entries, fp)
+	for i, f := range sh.order {
+		if f == fp {
+			sh.order = append(sh.order[:i:i], sh.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// EntrySnapshot is a point-in-time copy of one cache entry's contents:
+// the key structure (immutable, shared), the state list as of the
+// snapshot (the slice is copied under the shard lock; the CachedState
+// values and their Vals are shared read-only per the package contract),
+// and the maintenance record. Used by the ingestion path to walk the
+// cache without holding shard locks across re-planning and execution.
+type EntrySnapshot struct {
+	Fingerprint string
+	KeyNames    []string
+	Keys        []GroupKey
+	KeyCols     []*storage.Column
+	States      []*CachedState
+	Maint       any
+}
+
+// SnapshotEntry exports a group table as an EntrySnapshot. Only valid on
+// a table the caller still owns (before Put): afterwards the state list
+// is guarded by the owning shard's mutex. The ingestion path uses it to
+// keep an eviction-independent copy of a materialized view's states.
+func (gt *GroupTable) SnapshotEntry() EntrySnapshot {
+	return EntrySnapshot{
+		Fingerprint: gt.Fingerprint,
+		KeyNames:    gt.KeyNames,
+		Keys:        gt.Keys,
+		KeyCols:     gt.KeyCols,
+		States:      append([]*CachedState(nil), gt.states...),
+		Maint:       gt.Maint,
+	}
+}
+
+// Snapshot copies every entry's state list out of the cache, one shard
+// lock at a time. Entries added or mutated concurrently may or may not
+// appear; callers (the append path) serialize ingestion themselves.
+func (c *Cache) Snapshot() []EntrySnapshot {
+	var out []EntrySnapshot
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for _, gt := range sh.entries {
+			out = append(out, EntrySnapshot{
+				Fingerprint: gt.Fingerprint,
+				KeyNames:    gt.KeyNames,
+				Keys:        gt.Keys,
+				KeyCols:     gt.KeyCols,
+				States:      append([]*CachedState(nil), gt.states...),
+				Maint:       gt.Maint,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// MergeDelta is the delta-merge entry point of incremental ingestion: it
+// folds one append batch's per-group state values into a prior entry
+// snapshot, producing the successor entry under the post-append
+// fingerprint. The union group set keeps the prior entry's group order
+// first (so existing consumers see a stable prefix) with groups new in
+// the delta appended in delta order; a prior group absent from the delta
+// merges the state's identity (i.e. stays unchanged), and a brand-new
+// group starts from the identity. Integrity checksums are recomputed by
+// AddState over the merged vectors.
+//
+// deltaVals maps state key → per-group values aligned with deltaKeys;
+// every state in prev must be present (a missing state means the delta
+// run did not cover the entry, and the whole entry must be invalidated
+// instead). deltaPositive maps state key → whether every delta base
+// value was provably positive; it is ANDed into PositiveInput.
+func MergeDelta(prev EntrySnapshot, newFP string, deltaKeys []GroupKey, deltaKeyCols []*storage.Column,
+	deltaVals map[string][]float64, deltaPositive map[string]bool, maint any) (*GroupTable, error) {
+
+	union := append([]GroupKey(nil), prev.Keys...)
+	pos := make(map[GroupKey]int, len(union))
+	for i, k := range union {
+		pos[k] = i
+	}
+	var newRows []int // delta row index of each brand-new group, in delta order
+	for i, k := range deltaKeys {
+		if _, ok := pos[k]; !ok {
+			pos[k] = len(union)
+			union = append(union, k)
+			newRows = append(newRows, i)
+		}
+	}
+
+	// Key columns: prior rows copied, then the new groups' key rows from
+	// the delta run. Fresh columns — the prior entry's are immutable and
+	// may still be read by in-flight queries.
+	if len(deltaKeyCols) != len(prev.KeyCols) {
+		return nil, fmt.Errorf("merge delta: %d key columns, want %d", len(deltaKeyCols), len(prev.KeyCols))
+	}
+	keyCols := make([]*storage.Column, len(prev.KeyCols))
+	for ci, kc := range prev.KeyCols {
+		nc := storage.NewColumn(kc.Name, kc.Kind)
+		for g := 0; g < len(prev.Keys); g++ {
+			appendValue(nc, kc, g)
+		}
+		for _, di := range newRows {
+			appendValue(nc, deltaKeyCols[ci], di)
+		}
+		keyCols[ci] = nc
+	}
+
+	gt := NewGroupTable(newFP, prev.KeyNames, union, keyCols)
+	gt.Maint = maint
+	for _, cs := range prev.States {
+		key := cs.State.Key()
+		dv, ok := deltaVals[key]
+		if !ok {
+			return nil, fmt.Errorf("merge delta: state %s missing from delta run", key)
+		}
+		if len(dv) != len(deltaKeys) {
+			return nil, fmt.Errorf("merge delta: state %s: %d delta values for %d delta groups", key, len(dv), len(deltaKeys))
+		}
+		// Scatter the delta into union order with identity padding, then
+		// one ⊕-merge per group (canonical.State.MergeVals).
+		acc := make([]float64, len(union))
+		id := cs.State.MergeIdentity()
+		copy(acc, cs.Vals)
+		for i := len(prev.Keys); i < len(union); i++ {
+			acc[i] = id
+		}
+		aligned := make([]float64, len(union))
+		for i := range aligned {
+			aligned[i] = id
+		}
+		for i, k := range deltaKeys {
+			aligned[pos[k]] = dv[i]
+		}
+		merged := cs.State.MergeVals(acc, aligned)
+		if err := gt.AddState(&CachedState{
+			State:         cs.State,
+			Vals:          merged,
+			PositiveInput: cs.PositiveInput && deltaPositive[key],
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return gt, nil
+}
+
+// appendValue appends src's row i onto dst (same kind).
+func appendValue(dst, src *storage.Column, i int) {
+	switch src.Kind {
+	case storage.KindFloat:
+		dst.AppendFloat(src.F[i])
+	case storage.KindInt:
+		dst.AppendInt(src.I[i])
+	default:
+		dst.AppendString(src.StringAt(i))
+	}
+}
+
 // addEvent appends a degradation event.
 func (c *Cache) addEvent(ev string) {
 	c.evMu.Lock()
 	c.events = append(c.events, ev)
 	c.evMu.Unlock()
 }
+
+// AddEvent records a degradation event from outside the package (the
+// ingestion path notes entries and views it had to invalidate instead of
+// delta-maintaining); drained into the next query's Result.Events.
+func (c *Cache) AddEvent(ev string) { c.addEvent(ev) }
 
 // DrainEvents returns and clears accumulated degradation events.
 func (c *Cache) DrainEvents() []string {

@@ -111,6 +111,21 @@ func (s State) Merge(a, b float64) float64 {
 // Update folds one translated tuple value into a partial state value.
 func (s State) Update(acc, fx float64) float64 { return s.Merge(acc, fx) }
 
+// MergeVals ⊕-merges two aligned per-group value vectors into a fresh
+// vector: out[i] = acc[i] ⊕ delta[i]. This is the delta-fold primitive
+// of incremental ingestion — because every state is a ⊕-homomorphism
+// over the input multiset, the states of (base ⊎ delta) are exactly
+// states(base) ⊕ states(delta), so an append batch folds into cached
+// per-group states with one merge per group instead of a rescan. Groups
+// absent from the delta pass MergeIdentity() as their delta value.
+func (s State) MergeVals(acc, delta []float64) []float64 {
+	out := make([]float64, len(acc))
+	for i := range acc {
+		out[i] = s.Merge(acc[i], delta[i])
+	}
+	return out
+}
+
 // Form is the canonical form (F, ⊕, T) of a UDAF.
 type Form struct {
 	Name   string

@@ -25,6 +25,10 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*storage.Table
 	parent *Catalog // consulted on local misses; never written through
+	// pinning marks a snapshot catalog: parent lookups are memoized
+	// locally, so each name resolves to one table version for the
+	// snapshot's whole lifetime even while the parent advances.
+	pinning bool
 }
 
 // New creates an empty catalog.
@@ -40,7 +44,18 @@ func (c *Catalog) Overlay() *Catalog {
 	return &Catalog{tables: map[string]*storage.Table{}, parent: c}
 }
 
-// Register adds or replaces a table; the table must validate.
+// Snapshot creates a pinning overlay: the first lookup of each name
+// memoizes the table version it resolved to, so a query planning and
+// executing against the snapshot observes exactly one version of every
+// table — appends published to the parent mid-query stay invisible.
+// Local Register/Drop work like an ordinary overlay (subquery temps).
+func (c *Catalog) Snapshot() *Catalog {
+	return &Catalog{tables: map[string]*storage.Table{}, parent: c, pinning: true}
+}
+
+// Register adds or replaces a table; the table must validate. The table
+// is sealed (its rows become immutable; growth goes through
+// Table.AppendRows) and stamped with a version epoch if it has none yet.
 func (c *Catalog) Register(t *storage.Table) error {
 	if err := t.Validate(); err != nil {
 		return err
@@ -48,6 +63,10 @@ func (c *Catalog) Register(t *storage.Table) error {
 	if t.Name == "" {
 		return fmt.Errorf("cannot register unnamed table")
 	}
+	if t.Epoch == 0 {
+		t.Epoch = storage.NextEpoch()
+	}
+	t.Seal()
 	c.mu.Lock()
 	c.tables[t.Name] = t
 	c.mu.Unlock()
@@ -62,6 +81,8 @@ func (c *Catalog) Drop(name string) {
 }
 
 // Table returns the named table, consulting the parent on a local miss.
+// Snapshot catalogs memoize the first parent resolution per name, pinning
+// that table version for all later lookups.
 func (c *Catalog) Table(name string) (*storage.Table, error) {
 	c.mu.RLock()
 	t, ok := c.tables[name]
@@ -70,7 +91,20 @@ func (c *Catalog) Table(name string) (*storage.Table, error) {
 		return t, nil
 	}
 	if c.parent != nil {
-		return c.parent.Table(name)
+		t, err := c.parent.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.pinning {
+			c.mu.Lock()
+			if prev, ok := c.tables[name]; ok {
+				t = prev // lost the pin race; keep the first version seen
+			} else {
+				c.tables[name] = t
+			}
+			c.mu.Unlock()
+		}
+		return t, nil
 	}
 	return nil, fmt.Errorf("%w %q", errs.ErrUnknownTable, name)
 }

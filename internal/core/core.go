@@ -151,6 +151,12 @@ type Session struct {
 	udafs        map[string]*canonical.Form
 	builtinForms map[string]*canonical.Form
 	views        map[string]*rewrite.View
+	viewMaints   map[string]*viewMaint
+
+	// ingestMu serializes appends (and view materialization, which seeds
+	// maintenance state). Queries never take it: they pin a catalog
+	// snapshot instead, so ingestion and querying overlap freely.
+	ingestMu sync.Mutex
 
 	// cache is swapped atomically by ClearCache; each query snapshots it
 	// once, so an in-flight query keeps one coherent cache for its whole
@@ -197,6 +203,7 @@ func NewSession(opts Options) *Session {
 		cacheShards:  opts.CacheShards,
 		udafs:        map[string]*canonical.Form{},
 		views:        map[string]*rewrite.View{},
+		viewMaints:   map[string]*viewMaint{},
 		queryTimeout: opts.QueryTimeout,
 		numeric:      opts.Numeric,
 	}

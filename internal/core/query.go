@@ -64,27 +64,22 @@ type Result struct {
 }
 
 // queryCtx is the shared-nothing per-call state of one query: the
-// catalog view (an overlay once subquery temporaries exist), the cache
-// snapshot the whole query runs against, and the stats tallies. Nothing
-// in it is shared between concurrent queries.
+// catalog snapshot (which pins one version of every table the query
+// touches, so concurrent appends never surface mid-query — the MVCC-lite
+// read side of ingestion), the cache snapshot the whole query runs
+// against, and the stats tallies. Nothing in it is shared between
+// concurrent queries.
 type queryCtx struct {
-	cat     *catalog.Catalog
-	cache   *cache.Cache
-	overlay bool
-	stats   QueryStats
+	cat   *catalog.Catalog
+	cache *cache.Cache
+	stats QueryStats
 }
 
-// tempCat returns the catalog to register subquery temporaries in,
-// lazily switching the query onto a private overlay so concurrent
-// queries can materialize temps under the same alias without clashing in
-// the session catalog.
-func (qc *queryCtx) tempCat() *catalog.Catalog {
-	if !qc.overlay {
-		qc.cat = qc.cat.Overlay()
-		qc.overlay = true
-	}
-	return qc.cat
-}
+// tempCat returns the catalog to register subquery temporaries in. The
+// query's pinning snapshot doubles as the private overlay: local
+// registrations shadow the session catalog without writing to it, so
+// concurrent queries can materialize temps under the same alias.
+func (qc *queryCtx) tempCat() *catalog.Catalog { return qc.cat }
 
 // Query parses and runs a SQL statement in the given mode.
 func (s *Session) Query(sql string, mode Mode) (*Result, error) {
@@ -166,7 +161,11 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", errs.ErrParse, err)
 	}
-	qc := &queryCtx{cat: s.cat, cache: s.stateCache()}
+	// The snapshot pins one version of every table the query resolves,
+	// so concurrent appends (which publish new versions, never mutate
+	// old ones) stay invisible to in-flight scans, batch cursors and
+	// row iterators.
+	qc := &queryCtx{cat: s.cat.Snapshot(), cache: s.stateCache()}
 	return s.runStmt(ctx, qc, stmt, mode, 0)
 }
 
@@ -501,6 +500,11 @@ func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stm
 	if mode == ModeShare && !fullHit {
 		guard("state insert", func() {
 			gt := cache.NewGroupTable(dp.Fingerprint, gr.KeyNames, gr.Keys, gr.KeyColumns)
+			// Attach the maintenance record: the statement's data part
+			// plus the pinned table versions it ran against. The append
+			// path uses it to delta-fold future batches into this entry
+			// instead of invalidating it.
+			gt.Maint = newMaintRec(stmt, dp)
 			for _, key := range slotOrder {
 				sl := slots[key]
 				if sl.taskIdx >= 0 {

@@ -23,6 +23,11 @@ func (s *Session) Materialize(name, sql string) error {
 	if err != nil {
 		return err
 	}
+	// Serialize against appends: materialization reads base data and
+	// records the table versions it reflects; interleaving with an append
+	// could seed a view whose maintenance record is already stale.
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
 	for _, ref := range stmt.From {
 		if ref.Sub != nil {
 			return fmt.Errorf("materialized views over subqueries are not supported")
@@ -98,11 +103,15 @@ func (s *Session) Materialize(name, sql string) error {
 		return err
 	}
 
-	// Cache the states under the view query's fingerprint too.
+	// Cache the states under the view query's fingerprint too. The entry
+	// carries a maintenance record like any share-mode insert, so the
+	// append path delta-folds it rather than invalidating.
 	gt := cache.NewGroupTable(dp.Fingerprint, gr.KeyNames, gr.Keys, gr.KeyColumns)
+	gt.Maint = newMaintRec(stmt, dp)
 	for i, st := range states {
 		_ = gt.AddState(&cache.CachedState{State: st, Vals: gr.Values[i], PositiveInput: positives[i]})
 	}
+	snap := gt.SnapshotEntry()
 	s.stateCache().Put(gt)
 
 	s.mu.Lock()
@@ -114,6 +123,13 @@ func (s *Session) Materialize(name, sql string) error {
 		States:    states,
 		StateCols: stateCols,
 	}
+	s.viewMaints[name] = &viewMaint{
+		stmt:      stmt,
+		states:    states,
+		stateCols: stateCols,
+		epochs:    dp.TableEpochs(),
+		snap:      snap,
+	}
 	return nil
 }
 
@@ -122,6 +138,7 @@ func (s *Session) DropView(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.views, name)
+	delete(s.viewMaints, name)
 	s.cat.Drop(name)
 }
 
@@ -155,14 +172,42 @@ func (s *Session) tryViews(qc *queryCtx, dp *exec.DataPlan, missing []*slot) (*e
 	}
 	s.mu.RLock()
 	views := make([]*rewrite.View, 0, len(s.views))
+	maints := make(map[string]*viewMaint, len(s.viewMaints))
 	for _, v := range s.views {
 		views = append(views, v)
 	}
+	for n, vm := range s.viewMaints {
+		maints[n] = vm
+	}
 	s.mu.RUnlock()
 	for _, v := range views {
+		// Version check: the view must reflect exactly the base-table
+		// versions this query pinned. A query that pinned its snapshot
+		// before (or after) an append must not roll up from a view
+		// maintained on the other side of it — mixed versions would
+		// double- or under-count the delta.
+		if vm := maints[v.Name]; vm != nil {
+			stale := false
+			for tn, ep := range vm.epochs {
+				t, err := qc.cat.Table(tn)
+				if err != nil || t.Epoch != ep {
+					stale = true
+					break
+				}
+			}
+			if stale {
+				continue
+			}
+		}
 		rollup, reason := rewrite.TryRollup(info, states, v, colOwner)
 		if rollup == nil {
 			_ = reason
+			continue
+		}
+		// Pin the exact view-table version the version check vouched for:
+		// registering it in the query's snapshot shadows any successor the
+		// session catalog may publish while this query plans and runs.
+		if err := qc.cat.Register(v.Table); err != nil {
 			continue
 		}
 		dpv, err := s.eng.PrepareDataIn(qc.cat, rollup.Stmt)

@@ -120,11 +120,13 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 	}
 
 	// When both key columns fit in 32 bits the composite key packs into a
-	// single int64, enabling the runtime's fast64 map path.
+	// single int64, enabling the runtime's fast64 map path. An empty
+	// column reports (+Inf, -Inf) stats — any non-finite bound disables
+	// packing (converting ±Inf to int64 is undefined in Go).
 	packable := len(dp.groupBy) == 2
 	for _, g := range dp.groupBy {
 		min, max := g.col.Stats()
-		if min < 0 || max >= (1<<31) {
+		if math.IsInf(min, 0) || math.IsInf(max, 0) || min < 0 || max >= (1<<31) {
 			packable = false
 		}
 	}
@@ -339,6 +341,13 @@ type keyDomain struct {
 // keyDomainOf classifies a group-key column: int columns use their cached
 // min/max stats, dictionary-coded string columns their code range. Float
 // keys (truncated to int64 by bindInt) stay on the hash path.
+//
+// Column.Stats is append-aware (recomputed when the column length
+// changes), so the domain always covers every value a scan of this
+// column version can produce — a stale, narrower domain would make the
+// dense lookup table index out of range. The non-finite guard is
+// defense in depth for the empty-column (+Inf, -Inf) sentinel: int64
+// conversion of a non-finite float is undefined behavior in Go.
 func keyDomainOf(col *storage.Column) keyDomain {
 	switch col.Kind {
 	case storage.KindInt:
@@ -346,6 +355,9 @@ func keyDomainOf(col *storage.Column) keyDomain {
 			return keyDomain{}
 		}
 		min, max := col.Stats()
+		if math.IsInf(min, 0) || math.IsInf(max, 0) || math.IsNaN(min) || math.IsNaN(max) {
+			return keyDomain{}
+		}
 		w := int64(max) - int64(min) + 1
 		if w > 0 && w <= maxDenseKeyWidth {
 			return keyDomain{base: int64(min), width: w, dense: true}

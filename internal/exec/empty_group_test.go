@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"testing"
+
+	"sudaf/internal/catalog"
+	"sudaf/internal/storage"
+)
+
+// TestGroupByEmptyIntColumn pins the empty-domain regression: an empty
+// int column reports (+Inf, -Inf) stats, and the dense group-key sizing
+// used to convert those straight to int64 — an out-of-range conversion
+// (undefined result) that produced a bogus domain width. The guard must
+// route empty (and otherwise non-finite) domains to the hash path.
+func TestGroupByEmptyIntColumn(t *testing.T) {
+	empty := storage.NewTable("empty",
+		storage.NewColumn("g", storage.KindInt),
+		storage.NewColumn("v", storage.KindFloat))
+	cat := catalog.New()
+	if err := cat.Register(empty); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(cat, 2)
+	res := runBuiltins(t, e, "SELECT g, sum(v), count(*) FROM empty GROUP BY g")
+	if res.Table.NumRows() != 0 {
+		t.Fatalf("groups over empty table = %d, want 0", res.Table.NumRows())
+	}
+
+	// Same guard, string flavor: empty dictionary-encoded key column.
+	empty2 := storage.NewTable("empty2",
+		storage.NewColumn("tag", storage.KindString),
+		storage.NewColumn("v", storage.KindFloat))
+	if err := cat.Register(empty2); err != nil {
+		t.Fatal(err)
+	}
+	res = runBuiltins(t, e, "SELECT tag, min(v) FROM empty2 GROUP BY tag")
+	if res.Table.NumRows() != 0 {
+		t.Fatalf("groups over empty string-keyed table = %d, want 0", res.Table.NumRows())
+	}
+}
+
+// TestGroupByAfterAppendVersion: the dense-key path sizes its table from
+// Column.Stats(); querying a successor version whose key domain grew
+// must see fresh stats, not the sealed parent's.
+func TestGroupByAfterAppendVersion(t *testing.T) {
+	base := storage.NewTable("grow",
+		storage.NewColumn("g", storage.KindInt),
+		storage.NewColumn("v", storage.KindFloat))
+	base.Col("g").AppendInt(0)
+	base.Col("v").AppendFloat(1)
+	cat := catalog.New()
+	if err := cat.Register(base); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the stats cache on the 1-row domain.
+	base.Col("g").Stats()
+
+	delta := storage.NewTable("grow",
+		storage.NewColumn("g", storage.KindInt),
+		storage.NewColumn("v", storage.KindFloat))
+	for i := int64(1); i <= 300; i++ {
+		delta.Col("g").AppendInt(i)
+		delta.Col("v").AppendFloat(float64(i))
+	}
+	v2, err := base.AppendRows(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register(v2); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(cat, 2)
+	res := runBuiltins(t, e, "SELECT g, count(*) FROM grow GROUP BY g")
+	if res.Table.NumRows() != 301 {
+		t.Fatalf("groups = %d, want 301", res.Table.NumRows())
+	}
+}

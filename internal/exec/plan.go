@@ -98,6 +98,18 @@ func (dp *DataPlan) Tables() []string {
 	return out
 }
 
+// TableEpochs returns the version epoch of every base table the plan
+// resolved, keyed by table name — the data-version identity that the
+// ingestion path compares against when deciding whether cached states
+// built from this plan can be delta-maintained.
+func (dp *DataPlan) TableEpochs() map[string]int64 {
+	out := make(map[string]int64, len(dp.tables))
+	for _, t := range dp.tables {
+		out[t.Name] = t.Epoch
+	}
+	return out
+}
+
 // PrepareData resolves the FROM/WHERE/GROUP BY part of a statement
 // against the engine's session catalog. Subqueries must have been
 // materialized by the caller.
@@ -228,10 +240,16 @@ func (dp *DataPlan) Info() *DataInfo {
 	return info
 }
 
-// fingerprint canonicalizes the data part: sorted table names, sorted
-// join conditions, sorted per-table filters, group-by columns in order.
+// fingerprint canonicalizes the data part: sorted table versions
+// (name@epoch — the epoch ties cached states to exactly one version of
+// the data, so an append retires old fingerprints instead of serving
+// stale states), sorted join conditions, sorted per-table filters,
+// group-by columns in order.
 func fingerprint(dp *DataPlan, stmt *sqlparse.Stmt) string {
-	tables := dp.Tables()
+	tables := make([]string, len(dp.tables))
+	for i, t := range dp.tables {
+		tables[i] = fmt.Sprintf("%s@%d", t.Name, t.Epoch)
+	}
 	sort.Strings(tables)
 	var joins []string
 	for _, j := range dp.joins {

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind is a column type.
@@ -45,6 +46,15 @@ func (k Kind) String() string {
 
 // Column is a typed column vector. Exactly one of F, I, Codes is
 // populated, per Kind.
+//
+// A column goes through two phases. During construction it is mutable:
+// Append* grow it in place. Once its table is registered in a catalog it
+// is sealed — rows [0, Len()) become immutable, in-place Append* panic,
+// and further growth happens only through Table.AppendRows, which
+// produces a *new* column version sharing the sealed prefix arrays.
+// Readers holding the old version never observe the new rows (their
+// slice headers pin the length), which is what makes appends safe under
+// concurrent scans without any per-row locking.
 type Column struct {
 	Name string
 	Kind Kind
@@ -55,13 +65,29 @@ type Column struct {
 	dict  []string
 	index map[string]int32
 
-	statsOnce        sync.Once
+	// sealed marks rows [0, Len()) immutable; in-place Append* panic.
+	// Set when the owning table is registered (Table.Seal) and on every
+	// version produced by AppendRows.
+	sealed bool
+	// ownsTail marks this version as the owner of its backing arrays'
+	// spare capacity: AppendRows may extend the arrays in place past
+	// Len(). Exactly one version in a chain owns the tail at a time —
+	// appending transfers ownership to the child, so two sibling
+	// versions can never write the same spare bytes. Views (Slice,
+	// Renamed) never own a tail.
+	ownsTail bool
+
+	// Cached (min, max), invalidated whenever Len() changes (statsLen is
+	// the length the stats were computed at). Guarded by statsMu.
+	statsMu          sync.Mutex
+	statsOK          bool
+	statsLen         int
 	statMin, statMax float64
 }
 
 // NewColumn creates an empty column.
 func NewColumn(name string, kind Kind) *Column {
-	c := &Column{Name: name, Kind: kind}
+	c := &Column{Name: name, Kind: kind, ownsTail: true}
 	if kind == KindString {
 		c.index = map[string]int32{}
 	}
@@ -80,14 +106,25 @@ func (c *Column) Len() int {
 	}
 }
 
+// mustMutable panics when the column is sealed: in-place appends after
+// registration would race concurrent readers (and could corrupt sibling
+// versions sharing the backing array). Sealed tables grow through
+// Table.AppendRows instead.
+func (c *Column) mustMutable() {
+	if c.sealed {
+		panic(fmt.Sprintf("storage: in-place append to sealed column %q; use Table.AppendRows", c.Name))
+	}
+}
+
 // AppendFloat appends to a float column.
-func (c *Column) AppendFloat(v float64) { c.F = append(c.F, v) }
+func (c *Column) AppendFloat(v float64) { c.mustMutable(); c.F = append(c.F, v) }
 
 // AppendInt appends to an int column.
-func (c *Column) AppendInt(v int64) { c.I = append(c.I, v) }
+func (c *Column) AppendInt(v int64) { c.mustMutable(); c.I = append(c.I, v) }
 
 // AppendString appends to a string column, interning through the dict.
 func (c *Column) AppendString(s string) {
+	c.mustMutable()
 	code, ok := c.index[s]
 	if !ok {
 		code = int32(len(c.dict))
@@ -184,10 +221,13 @@ func (c *Column) GatherFloats(rows []int32, lo, hi int, out []float64) {
 }
 
 // Slice returns a zero-copy view of rows [lo, hi): the view shares the
-// underlying arrays (and dictionary) with the parent column. Appending to
-// a slice view is not supported.
+// underlying arrays (and dictionary) with the parent column. The view is
+// sealed (appending panics) and its slice headers are capacity-capped, so
+// it can never alias the growing tail of a live version — append-created
+// successors write past hi, which the view's header cannot reach.
 func (c *Column) Slice(lo, hi int) *Column {
 	n := NewColumn(c.Name, c.Kind)
+	n.sealed, n.ownsTail = true, false
 	switch c.Kind {
 	case KindFloat:
 		n.F = c.F[lo:hi:hi]
@@ -195,52 +235,68 @@ func (c *Column) Slice(lo, hi int) *Column {
 		n.I = c.I[lo:hi:hi]
 	default:
 		n.Codes = c.Codes[lo:hi:hi]
-		n.dict = c.dict
+		n.dict = c.dict[:len(c.dict):len(c.dict)]
 		n.index = c.index
 	}
 	return n
 }
 
 // Renamed returns a view of the column under a new name, sharing the
-// underlying data.
+// underlying data. Like Slice, the view is sealed and capacity-capped:
+// it exposes exactly the parent's current rows and can neither grow nor
+// observe a successor version's tail.
 func (c *Column) Renamed(name string) *Column {
 	n := NewColumn(name, c.Kind)
-	n.F, n.I, n.Codes, n.dict = c.F, c.I, c.Codes, c.dict
+	n.sealed, n.ownsTail = true, false
+	n.F = c.F[:len(c.F):len(c.F)]
+	n.I = c.I[:len(c.I):len(c.I)]
+	n.Codes = c.Codes[:len(c.Codes):len(c.Codes)]
+	n.dict = c.dict[:len(c.dict):len(c.dict)]
 	if c.index != nil {
 		n.index = c.index
 	}
 	return n
 }
 
-// Stats returns the cached (min, max) of a numeric column, computing it
-// on first use. String columns return (0, 0).
+// Stats returns the cached (min, max) of a numeric column. The cache is
+// append-aware: it is recomputed whenever the column's length no longer
+// matches the length it was computed at, so stats can never go stale
+// across in-place appends (sealed versions are immutable, so for them the
+// scan runs once). An empty numeric column reports (+Inf, -Inf); callers
+// deriving integer domains from stats must guard for that (see
+// exec.keyDomainOf). String columns return (0, 0).
 func (c *Column) Stats() (min, max float64) {
-	c.statsOnce.Do(func() {
-		c.statMin, c.statMax = math.Inf(1), math.Inf(-1)
-		switch c.Kind {
-		case KindFloat:
-			for _, v := range c.F {
-				if v < c.statMin {
-					c.statMin = v
-				}
-				if v > c.statMax {
-					c.statMax = v
-				}
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	n := c.Len()
+	if c.statsOK && c.statsLen == n {
+		return c.statMin, c.statMax
+	}
+	c.statMin, c.statMax = math.Inf(1), math.Inf(-1)
+	switch c.Kind {
+	case KindFloat:
+		for _, v := range c.F {
+			if v < c.statMin {
+				c.statMin = v
 			}
-		case KindInt:
-			for _, v := range c.I {
-				fv := float64(v)
-				if fv < c.statMin {
-					c.statMin = fv
-				}
-				if fv > c.statMax {
-					c.statMax = fv
-				}
+			if v > c.statMax {
+				c.statMax = v
 			}
-		default:
-			c.statMin, c.statMax = 0, 0
 		}
-	})
+	case KindInt:
+		for _, v := range c.I {
+			fv := float64(v)
+			if fv < c.statMin {
+				c.statMin = fv
+			}
+			if fv > c.statMax {
+				c.statMax = fv
+			}
+		}
+	default:
+		c.statMin, c.statMax = 0, 0
+	}
+	c.statsOK, c.statsLen = true, n
 	return c.statMin, c.statMax
 }
 
@@ -249,6 +305,22 @@ type Table struct {
 	Name   string
 	Cols   []*Column
 	byName map[string]int
+	// Epoch identifies this table *version*: 0 while the table is still
+	// being built, stamped from the global counter when it is registered
+	// in a catalog, and stamped afresh by AppendRows for every successor
+	// version. Data fingerprints embed the epoch, so cached aggregation
+	// states are keyed to exactly one version of the data.
+	Epoch int64
+	// Segments records the cumulative row count at each sealed append
+	// boundary: Segments[0] is the initially loaded prefix, each later
+	// entry the end of one AppendRows batch. A query snapshot pins one
+	// table version and therefore one segment list; rows past the last
+	// boundary belong to future versions and are invisible to it.
+	Segments []int
+	// sealOnce makes Seal write-once: concurrent registrations of the
+	// same table version (query-snapshot pinning) must not race on the
+	// sealed flags.
+	sealOnce sync.Once
 	// err is the first construction error (e.g. a duplicate column passed
 	// to NewTable); surfaced by Err and Validate rather than panicking.
 	err error
@@ -323,6 +395,128 @@ func (t *Table) Slice(lo, hi int) *Table {
 		_ = out.AddColumn(c.Slice(lo, hi))
 	}
 	return out
+}
+
+// epochCounter hands out globally unique table-version numbers.
+var epochCounter atomic.Int64
+
+// NextEpoch returns a fresh table-version number (process-global,
+// monotonically increasing, never 0).
+func NextEpoch() int64 { return epochCounter.Add(1) }
+
+// Seal marks every column immutable: rows [0, NumRows()) can no longer
+// change and in-place Append* panic. Growth after sealing goes through
+// AppendRows, which builds a new version. Called by catalog registration;
+// idempotent AND race-safe — concurrent queries may re-register the same
+// table (e.g. pinning a view version), so the writes run exactly once.
+func (t *Table) Seal() {
+	t.sealOnce.Do(func() {
+		for _, c := range t.Cols {
+			c.sealed = true
+		}
+		if len(t.Segments) == 0 {
+			t.Segments = []int{t.NumRows()}
+		}
+	})
+}
+
+// AppendRows builds the successor version of a sealed table: a new
+// *Table containing t's rows followed by delta's rows, with a fresh
+// Epoch and one more sealed segment. The receiver is never mutated in a
+// way its readers can observe — each new column shares t's prefix
+// arrays, and delta rows land either past the shared arrays' lengths
+// (when this version owns the spare capacity; existing slice headers
+// cannot reach them) or in a freshly allocated array. Dictionary-encoded
+// columns get a copy-on-write dictionary: delta strings are re-interned,
+// and when the delta introduces new strings the dict and index are
+// cloned, so readers of t keep seeing exactly their sealed dict prefix.
+//
+// delta must have the same column names and kinds as t (any order).
+// Callers append through one goroutine at a time per table chain (the
+// session's ingest lock); concurrent *readers* of t need no coordination.
+func (t *Table) AppendRows(delta *Table) (*Table, error) {
+	if err := delta.Validate(); err != nil {
+		return nil, fmt.Errorf("append to %s: %w", t.Name, err)
+	}
+	if len(delta.Cols) != len(t.Cols) {
+		return nil, fmt.Errorf("append to %s: %d columns, want %d", t.Name, len(delta.Cols), len(t.Cols))
+	}
+	out := &Table{Name: t.Name, byName: map[string]int{}, Epoch: NextEpoch()}
+	for _, c := range t.Cols {
+		d := delta.Col(c.Name)
+		if d == nil {
+			return nil, fmt.Errorf("append to %s: missing column %s", t.Name, c.Name)
+		}
+		if d.Kind != c.Kind {
+			return nil, fmt.Errorf("append to %s: column %s is %s, want %s", t.Name, c.Name, d.Kind, c.Kind)
+		}
+		if err := out.AddColumn(c.appendVersion(d)); err != nil {
+			return nil, err
+		}
+	}
+	segs := t.Segments
+	if len(segs) == 0 {
+		segs = []int{t.NumRows()}
+	}
+	out.Segments = append(append([]int(nil), segs...), t.NumRows()+delta.NumRows())
+	return out, nil
+}
+
+// appendVersion produces the successor version of one column: c's rows
+// followed by d's, sharing c's prefix storage. Tail ownership moves from
+// c to the new version.
+func (c *Column) appendVersion(d *Column) *Column {
+	n := NewColumn(c.Name, c.Kind)
+	n.sealed, n.ownsTail = true, true
+	switch c.Kind {
+	case KindFloat:
+		n.F = appendTail(c.F, d.F, c.ownsTail)
+	case KindInt:
+		n.I = appendTail(c.I, d.I, c.ownsTail)
+	default:
+		codes := c.Codes
+		if !c.ownsTail {
+			codes = codes[:len(codes):len(codes)]
+		}
+		dict, index := c.dict, c.index
+		cloned := false
+		for i := 0; i < d.Len(); i++ {
+			s := d.StringAt(i)
+			code, ok := index[s]
+			if !ok {
+				if !cloned {
+					// First new string: clone the dict map and cap the
+					// dict slice so growth reallocates instead of
+					// touching storage shared with c's readers.
+					ni := make(map[string]int32, len(index)+4)
+					for k, v := range index {
+						ni[k] = v
+					}
+					index = ni
+					dict = dict[:len(dict):len(dict)]
+					cloned = true
+				}
+				code = int32(len(dict))
+				dict = append(dict, s)
+				index[s] = code
+			}
+			codes = append(codes, code)
+		}
+		n.Codes, n.dict, n.index = codes, dict, index
+	}
+	c.ownsTail = false
+	return n
+}
+
+// appendTail extends a sealed prefix with delta values. When the prefix
+// version owns its array's spare capacity the extension happens in place
+// past len (invisible to holders of the prefix header); otherwise the
+// capacity-capped append reallocates, leaving the shared array untouched.
+func appendTail[T any](prefix, delta []T, ownsTail bool) []T {
+	if ownsTail {
+		return append(prefix, delta...)
+	}
+	return append(prefix[:len(prefix):len(prefix)], delta...)
 }
 
 // Validate checks the table has no deferred construction error and all

@@ -227,6 +227,33 @@ func (e *Engine) QueryBatches(ctx context.Context, sql string, mode Mode) (*Batc
 	return e.s.QueryBatches(ctx, sql, mode)
 }
 
+// AppendResult reports what one append batch did: rows ingested, the
+// table-version transition, and how cached states and materialized views
+// were carried across it (delta-maintained vs invalidated).
+type AppendResult = core.AppendResult
+
+// Append ingests a batch of rows into a registered table. The delta must
+// have the table's columns (same names and kinds, any order). Appends are
+// snapshot-safe: queries in flight (including streaming cursors and row
+// iterators) keep the table version they started on and never observe
+// the new rows mid-query.
+//
+// Cached aggregation states and materialized views over the table are
+// delta-maintained — the batch's per-group states are computed on the
+// new rows only and ⊕-merged into the cached values — instead of being
+// invalidated; anything unmaintainable is dropped with a note in
+// AppendResult.Events.
+func (e *Engine) Append(ctx context.Context, table string, delta *Table) (*AppendResult, error) {
+	return e.s.Append(ctx, table, delta)
+}
+
+// AppendCSV ingests a CSV batch (typed header "name:kind" per field, the
+// format written by Table.SaveCSVFile) into a registered table; see
+// Append for the maintenance and snapshot semantics.
+func (e *Engine) AppendCSV(ctx context.Context, table, path string) (*AppendResult, error) {
+	return e.s.AppendCSV(ctx, table, path)
+}
+
 // SetQueryTimeout changes the per-query timeout at runtime (0 disables).
 func (e *Engine) SetQueryTimeout(d time.Duration) { e.s.SetQueryTimeout(d) }
 
