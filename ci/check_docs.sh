@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Documentation checks: vet, local markdown links, and doc-referenced
+# identifiers. Run from the repository root (CI does), or from anywhere —
+# the script cds to its parent directory. No network, no dependencies
+# beyond the go toolchain and POSIX tools.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+  echo "FAIL: $*" >&2
+  fail=1
+}
+
+echo "== go vet =="
+go vet ./...
+
+echo "== markdown links =="
+# Every relative link/image target in tracked markdown must exist.
+# External (scheme://) and pure-anchor links are skipped.
+for md in *.md docs/*.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Extract (target) of [text](target), one per line; tolerate several
+  # links per line. Fenced code blocks and inline code spans are stripped
+  # first — state keys like sum[ln(x)](price) are not links.
+  awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$md" | sed -E 's/`[^`]*`//g' |
+    { grep -oE '\]\(([^)#]+)(#[^)]*)?\)' || true; } | sed -E 's/^\]\(//; s/#[^)]*//; s/\)$//' |
+    while read -r target; do
+      [ -z "$target" ] && continue
+      case "$target" in
+        *://*|mailto:*) continue ;;
+      esac
+      if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+        echo "FAIL: $md links to missing file: $target" >&2
+        touch .docs-link-failed
+      fi
+    done
+done
+if [ -e .docs-link-failed ]; then
+  rm -f .docs-link-failed
+  fail=1
+fi
+
+echo "== doc-referenced identifiers =="
+# Backticked dotted references like `Engine.ServeMetrics`,
+# `Options.TraceRate`, `Result.Trace` or `sudaf.Open` in user-facing docs
+# must name identifiers that exist in the Go sources, so the docs cannot
+# drift silently when the API changes.
+docs="README.md docs/OBSERVABILITY.md"
+refs=$(grep -ohE '`(sudaf|Engine|Options|Result|Trace|Span|Explain|AppendResult)\.[A-Z][A-Za-z]*' $docs | tr -d '`' | sort -u || true)
+for ref in $refs; do
+  ident=${ref#*.}
+  if ! grep -qrE "(func |func \([^)]*\) |\s)${ident}[[:space:](]" --include='*.go' . ; then
+    err "$docs mention \`$ref\` but no Go source defines $ident"
+  fi
+done
+
+# Metric families documented in OBSERVABILITY.md must be registered in
+# the source, and vice versa.
+doc_metrics=$(grep -ohE 'sudaf_[a-z_]+_(total|seconds)' docs/OBSERVABILITY.md | sort -u)
+for m in $doc_metrics; do
+  if ! grep -qr --include='*.go' "\"$m\"" internal/; then
+    err "docs/OBSERVABILITY.md documents metric $m but no source registers it"
+  fi
+done
+src_metrics=$(grep -ohE '"sudaf_[a-z_]+_(total|seconds)"' internal/core/metrics.go | tr -d '"' | sort -u)
+for m in $src_metrics; do
+  if ! grep -q "$m" docs/OBSERVABILITY.md; then
+    err "metric $m is registered but undocumented in docs/OBSERVABILITY.md"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "documentation checks failed" >&2
+  exit 1
+fi
+echo "docs OK"

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sudaf/internal/bench"
+	"sudaf/internal/obs"
 )
 
 func main() {
@@ -32,8 +33,21 @@ func main() {
 		concRows   = flag.Int("conc-rows", 1_500_000, "Milan rows for the concurrent throughput experiment")
 		concSec    = flag.Float64("conc-seconds", 3, "time budget per (system, clients) cell of the concurrent experiment")
 		seed       = flag.Int64("seed", 0, "dataset seed (0 = default)")
+		metricsAt  = flag.String("metrics-addr", "", "serve Prometheus metrics, expvar and pprof on this address while the harness runs, e.g. :9090")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAt != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.ServeMetrics(*metricsAt, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics  (expvar at /debug/vars, pprof at /debug/pprof)\n", srv.Addr)
+	}
 
 	r := bench.NewRunner(bench.Config{
 		PGScale:        *pgScale,
@@ -47,6 +61,7 @@ func main() {
 		ConcRows:       *concRows,
 		ConcSeconds:    *concSec,
 		Out:            os.Stdout,
+		Metrics:        reg,
 	})
 
 	start := time.Now()

@@ -19,7 +19,10 @@
 //	\demo                                load a small demo dataset
 //	\quit
 //
-// Anything else is executed as SQL.
+// Anything else is executed as SQL. A statement of the form
+// `EXPLAIN <query>` is not executed: it prints the canonical
+// decomposition, the RQ rewriting, and (in share mode) the sharing
+// provenance of every aggregation state against the live cache.
 package main
 
 import (
@@ -102,6 +105,15 @@ func main() {
 			}
 			continue
 		}
+		if rest, ok := stripExplain(line); ok {
+			ex, err := eng.Explain(rest, mode)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(ex)
+			continue
+		}
 		start := time.Now()
 		res, err := runQuery(eng, line, mode)
 		if err != nil {
@@ -122,6 +134,16 @@ func main() {
 		}
 		fmt.Println(")")
 	}
+}
+
+// stripExplain detects an `EXPLAIN <query>` statement (case-insensitive)
+// and returns the inner query.
+func stripExplain(line string) (string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.EqualFold(fields[0], "explain") {
+		return "", false
+	}
+	return strings.TrimSpace(line[len(fields[0]):]), true
 }
 
 // runQuery executes one statement under a context canceled by Ctrl-C, so
@@ -167,7 +189,7 @@ func runCommand(eng *sudaf.Engine, line string, mode *sudaf.Mode) (quit bool) {
 			fmt.Println("error:", err)
 			return
 		}
-		if form, ok := eng.Explain(name); ok {
+		if form, ok := eng.ExplainUDAF(name); ok {
 			fmt.Println(form)
 		}
 	case "\\explain":
@@ -175,7 +197,7 @@ func runCommand(eng *sudaf.Engine, line string, mode *sudaf.Mode) (quit bool) {
 			fmt.Println("usage: \\explain <name>")
 			return
 		}
-		if form, ok := eng.Explain(fields[1]); ok {
+		if form, ok := eng.ExplainUDAF(fields[1]); ok {
 			fmt.Println(form)
 		} else {
 			fmt.Println("unknown UDAF", fields[1])

@@ -1,0 +1,132 @@
+package sudaf_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"sudaf"
+)
+
+// salesEngine builds a single-threaded engine over a small deterministic
+// sales table, shared by the examples below.
+func salesEngine() *sudaf.Engine {
+	eng := sudaf.Open(sudaf.Options{Workers: 1})
+	t := sudaf.NewTable("sales",
+		sudaf.NewColumn("region", sudaf.Int),
+		sudaf.NewColumn("price", sudaf.Float))
+	for _, r := range []struct {
+		region int64
+		price  float64
+	}{{0, 2}, {0, 8}, {1, 3}, {1, 27}} {
+		t.Col("region").AppendInt(r.region)
+		t.Col("price").AppendFloat(r.price)
+	}
+	if err := eng.Register(t); err != nil {
+		log.Fatal(err)
+	}
+	return eng
+}
+
+func printResult(res *sudaf.Result) {
+	fmt.Println(strings.Join(res.Table.ColumnNames(), "\t"))
+	for i := 0; i < res.Table.NumRows(); i++ {
+		row := make([]string, len(res.Table.Cols))
+		for j, c := range res.Table.Cols {
+			row[j] = c.ValueString(i)
+		}
+		fmt.Println(strings.Join(row, "\t"))
+	}
+}
+
+func ExampleEngine_QueryContext() {
+	eng := salesEngine()
+	res, err := eng.QueryContext(context.Background(),
+		"SELECT region, gm(price) AS geo_mean FROM sales GROUP BY region", sudaf.Share)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+	// Output:
+	// region	geo_mean
+	// 0	4
+	// 1	9
+}
+
+func ExampleEngine_QueryBatches() {
+	eng := salesEngine()
+	cur, err := eng.QueryBatches(context.Background(),
+		"SELECT region, avg(price) FROM sales GROUP BY region", sudaf.Share)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cur.Close()
+	for cur.Next() {
+		b := cur.Batch()
+		fmt.Printf("batch of %d group row(s)\n", b.NumRows())
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// batch of 2 group row(s)
+}
+
+func ExampleEngine_Append() {
+	eng := salesEngine()
+	// Warm the cache, then append: cached states are delta-maintained,
+	// not recomputed, and the next query answers from the merged states.
+	if _, err := eng.Query("SELECT region, gm(price) AS geo_mean FROM sales GROUP BY region", sudaf.Share); err != nil {
+		log.Fatal(err)
+	}
+	delta := sudaf.NewTable("sales",
+		sudaf.NewColumn("region", sudaf.Int),
+		sudaf.NewColumn("price", sudaf.Float))
+	delta.Col("region").AppendInt(0)
+	delta.Col("price").AppendFloat(4)
+	ar, err := eng.Append(context.Background(), "sales", delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appended %d row(s), migrated %d cache entr(ies), maintained %d state(s)\n",
+		ar.RowsAppended, ar.EntriesMigrated, ar.StatesMaintained)
+	res, err := eng.Query("SELECT region, gm(price) AS geo_mean FROM sales GROUP BY region", sudaf.Share)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+	// Output:
+	// appended 1 row(s), migrated 1 cache entr(ies), maintained 2 state(s)
+	// region	geo_mean
+	// 0	4
+	// 1	9
+}
+
+func ExampleEngine_Explain() {
+	eng := salesEngine()
+	// Run once in share mode so the cache holds gm's states, then explain
+	// how a UDAF over ln(price) would execute: its single state is served
+	// from the cached product state via the scalar rewriting r(s) = ln(s).
+	if _, err := eng.Query("SELECT region, gm(price) FROM sales GROUP BY region", sudaf.Share); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.DefineUDAF("lnprod", []string{"x"}, "sum(ln(x))"); err != nil {
+		log.Fatal(err)
+	}
+	ex, err := eng.Explain("SELECT region, lnprod(price) FROM sales GROUP BY region", sudaf.Share)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ex.String() renders the full report; the structured fields carry
+	// the provenance. (The table epoch in ex.Fingerprint is run-dependent,
+	// so this example prints the stable parts.)
+	st := ex.States[0]
+	fmt.Printf("state %s: %s hit\n", st.Key, st.Hit)
+	fmt.Printf("from %s via r(s) = %s\n", st.Matched, st.Rewrite)
+	fmt.Printf("positive-only: %v, conditions: %d\n", st.PositiveOnly, len(st.Conditions))
+	// Output:
+	// state sum[ln(x)](price): shared hit
+	// from prod[x](price) via r(s) = ln(s)
+	// positive-only: true, conditions: 0
+}

@@ -31,7 +31,7 @@ func main() {
 	if err := eng.DefineUDAF("rms", []string{"x"}, "sqrt(sum(x^2)/count())"); err != nil {
 		panic(err)
 	}
-	form, _ := eng.Explain("rms")
+	form, _ := eng.ExplainUDAF("rms")
 	fmt.Println("canonical form:", form)
 
 	// First query computes states (count, Σx²) from base data.

@@ -39,7 +39,7 @@ func main() {
 			panic(err)
 		}
 	}
-	form, _ := eng.Explain("theta1")
+	form, _ := eng.ExplainUDAF("theta1")
 	fmt.Println("theta1 decomposes into the five states of RQ1:")
 	fmt.Println(" ", form)
 

@@ -30,6 +30,7 @@ import (
 
 	"sudaf/internal/core"
 	"sudaf/internal/data"
+	"sudaf/internal/obs"
 )
 
 // Config sizes the experiments.
@@ -58,6 +59,11 @@ type Config struct {
 	// Out receives the report (defaults to no output when nil... callers
 	// pass os.Stdout).
 	Out io.Writer
+	// Metrics, when non-nil, is shared by both sessions so a scraper (see
+	// sudaf-bench -metrics-addr) can watch the harness live. The serial
+	// session registers under engine="pg", the parallel one under
+	// engine="spark".
+	Metrics *obs.Registry
 }
 
 // Defaults fills unset fields with laptop-scale values.
@@ -126,8 +132,10 @@ func NewRunner(cfg Config) *Runner {
 // datasets) on first use.
 func (r *Runner) session(spark bool) *core.Session {
 	if !r.haveData {
-		r.pg = core.NewSession(core.Options{Workers: 1})
-		r.spark = core.NewSession(core.Options{Workers: r.cfg.Workers})
+		r.pg = core.NewSession(core.Options{Workers: 1,
+			Metrics: r.cfg.Metrics, MetricsLabel: "pg"})
+		r.spark = core.NewSession(core.Options{Workers: r.cfg.Workers,
+			Metrics: r.cfg.Metrics, MetricsLabel: "spark"})
 		for _, t := range data.TPCDS(r.cfg.PGScale, r.cfg.Seed) {
 			must(r.pg.Register(t))
 		}

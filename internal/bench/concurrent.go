@@ -40,7 +40,8 @@ type ConcurrentResult struct {
 func (r *Runner) Concurrent() []ConcurrentResult {
 	cfg := r.cfg
 	rows := cfg.ConcRows
-	s := core.NewSession(core.Options{Workers: cfg.Workers})
+	s := core.NewSession(core.Options{Workers: cfg.Workers,
+		Metrics: cfg.Metrics, MetricsLabel: "concurrent"})
 	must(s.Register(data.Milan(rows, cfg.MilanSquares, cfg.Seed+7)))
 
 	queries := make([]string, 0, len(concurrentAggs))

@@ -59,7 +59,10 @@ func (r *Runner) Ingest() []IngestResult {
 		}
 		// Fresh session per ratio: same base, same warm set, so cells are
 		// comparable and earlier appends don't compound the base size.
-		s := core.NewSession(core.Options{Workers: cfg.Workers})
+		// Same label per ratio: re-registration replaces the previous
+		// session's series, so a scraper follows the live one.
+		s := core.NewSession(core.Options{Workers: cfg.Workers,
+			Metrics: cfg.Metrics, MetricsLabel: "ingest"})
 		must(s.Register(data.Milan(rows, cfg.MilanSquares, cfg.Seed+7)))
 		for _, q := range queries {
 			_, err := s.Query(q, core.ModeShare)

@@ -808,6 +808,95 @@ func (c *Cache) LookupKind(fp string, want canonical.State, positiveData bool) (
 	return nil, HitNone, false
 }
 
+// ProbeResult is the read-only provenance record of how a state lookup
+// would be served; see Cache.Probe. EXPLAIN renders it.
+type ProbeResult struct {
+	// Kind classifies the would-be outcome (exact/shared/sign/miss).
+	Kind HitKind
+	// Matched is the key of the cached state that serves the hit (the
+	// sharing source for a shared hit); empty on a miss.
+	Matched string
+	// Rewrite is the scalar rewriting r with want = r∘matched, rendered
+	// over "s"; set only for shared hits (exact hits are identity).
+	Rewrite string
+	// Conditions are the parameter conditions the sharing decision
+	// checked, rendered "expr = value"; empty means unconditional
+	// ("strong") sharing.
+	Conditions []string
+	// PositiveOnly reports that the rewriting is sound only over
+	// positive data (satisfied here by column stats or a positive-input
+	// cached source).
+	PositiveOnly bool
+	// Companions are the §5.3 sign-split companion state keys a HitSign
+	// reconstruction reads.
+	Companions []string
+	// Candidates are the healthy cached state keys under the fingerprint
+	// at probe time — what the sharing pass had to work with.
+	Candidates []string
+	// Reason explains a miss in one sentence; empty on a hit.
+	Reason string
+}
+
+// Probe reports how LookupKind would serve a state under a fingerprint,
+// with full provenance and without observable side effects: no LRU
+// touch, no stats counters, no derived-state materialization, and
+// corrupted states are skipped rather than dropped. It is the EXPLAIN
+// back end; the serving path stays LookupKind.
+func (c *Cache) Probe(fp string, want canonical.State, positiveData bool) ProbeResult {
+	sh := c.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	gt, ok := sh.entries[fp]
+	if !ok {
+		return ProbeResult{Kind: HitNone, Reason: "no cached entry under this data fingerprint"}
+	}
+	res := ProbeResult{Kind: HitNone}
+	for _, s := range gt.states {
+		if s.verify() {
+			res.Candidates = append(res.Candidates, s.State.Key())
+		}
+	}
+	if cs, ok := gt.Exact(want.Key()); ok && cs.verify() {
+		res.Kind = HitExact
+		res.Matched = want.Key()
+		return res
+	}
+	for _, cand := range gt.states {
+		if !cand.verify() {
+			continue
+		}
+		if cand.State.Op == canonical.OpCount && want.Op != canonical.OpCount {
+			continue
+		}
+		pos := positiveData || cand.PositiveInput
+		if d, ok := sharing.ShareDetail(want, cand.State, pos); ok {
+			res.Kind = HitShared
+			res.Matched = cand.State.Key()
+			res.Rewrite = d.R.Render("s")
+			for _, cond := range d.Conds {
+				res.Conditions = append(res.Conditions, fmt.Sprintf("%v = %v", cond.C, cond.Want))
+			}
+			res.PositiveOnly = d.PositiveOnly
+			return res
+		}
+	}
+	if _, ok := c.signSplitLookup(gt, want); ok {
+		lnAbs, sgnProd := SignSplitStates(want.Base)
+		res.Kind = HitSign
+		res.Companions = append(res.Companions, lnAbs.Key())
+		if want.Op == canonical.OpProd {
+			res.Companions = append(res.Companions, sgnProd.Key())
+		}
+		return res
+	}
+	if len(res.Candidates) == 0 {
+		res.Reason = "cache entry holds no healthy states"
+	} else {
+		res.Reason = "no cached state is exact, Theorem 4.1-shareable, or sign-split reconstructible"
+	}
+	return res
+}
+
 // storeDerived caches a rewritten state's materialized values so repeated
 // requests become exact hits. Caller holds the owning shard's mutex.
 func (c *Cache) storeDerived(sh *shard, gt *GroupTable, st canonical.State, vals []float64, pos bool) {

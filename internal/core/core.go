@@ -48,6 +48,7 @@ import (
 	"sudaf/internal/catalog"
 	"sudaf/internal/exec"
 	"sudaf/internal/expr"
+	"sudaf/internal/obs"
 	"sudaf/internal/rewrite"
 	"sudaf/internal/sketch"
 	"sudaf/internal/storage"
@@ -117,6 +118,20 @@ type Options struct {
 	// cap). Excess callers queue inside QueryContext and honor their
 	// context's cancellation/deadline while waiting.
 	MaxConcurrentQueries int
+	// TraceRate is the fraction of queries that record a span tree on
+	// Result.Trace: 1 traces every query, 0 (the default) none, 0.01
+	// every 100th. Sampling is deterministic (a modulus over an atomic
+	// counter), and an untraced query threads nil spans through the
+	// pipeline at zero allocation cost.
+	TraceRate float64
+	// Metrics, when non-nil, is the registry this session exports its
+	// counters and latency histogram into. Several sessions may share one
+	// registry as long as their MetricsLabel differs. Nil gives the
+	// session a private registry (still reachable via Session.Metrics).
+	Metrics *obs.Registry
+	// MetricsLabel distinguishes this session's series when Metrics is
+	// shared, rendered as an engine="..." label. Empty means no label.
+	MetricsLabel string
 }
 
 // EngineStats are session-lifetime aggregate counters, maintained with
@@ -136,6 +151,31 @@ type EngineStats struct {
 	QueryTime time.Duration
 	// QueueWait totals time queries spent waiting for an admission slot.
 	QueueWait time.Duration
+	// QueriesQueued counts queries that had to wait for an admission slot
+	// (a nonzero QueueWait) rather than being admitted immediately.
+	QueriesQueued int64
+}
+
+// IngestStats are session-lifetime ingestion counters: what Append did
+// across all batches. Maintained with atomics; also exported through the
+// metrics registry as the sudaf_ingest_* families.
+type IngestStats struct {
+	// Appends counts successful Append/AppendCSV batches (no-op empty
+	// batches included).
+	Appends int64
+	// RowsAppended totals ingested rows.
+	RowsAppended int64
+	// EntriesMigrated counts cache entries delta-maintained across an
+	// append; StatesMaintained totals their per-entry states.
+	EntriesMigrated  int64
+	StatesMaintained int64
+	// EntriesInvalidated counts cache entries dropped because they could
+	// not be delta-maintained.
+	EntriesInvalidated int64
+	// ViewsMaintained / ViewsInvalidated count materialized views
+	// delta-folded vs dropped across appends.
+	ViewsMaintained  int64
+	ViewsInvalidated int64
 }
 
 // Session is a SUDAF instance bound to a catalog of tables. It is safe
@@ -175,13 +215,32 @@ type Session struct {
 	queryTimeout time.Duration
 	numeric      NumericPolicy
 
+	// sampler decides which queries record a trace (nil when TraceRate
+	// is 0 — the nil sampler never samples and costs one predicted
+	// branch on the hot path).
+	sampler *obs.Sampler
+	// metrics is the export registry (never nil after NewSession);
+	// queryHist is the query latency histogram registered in it.
+	metrics   *obs.Registry
+	queryHist *obs.Histogram
+
 	// Engine-level counters (see EngineStats).
 	queriesStarted   atomic.Int64
 	queriesCompleted atomic.Int64
 	queriesFailed    atomic.Int64
+	queriesQueued    atomic.Int64
 	rowsScanned      atomic.Int64
 	queryNanos       atomic.Int64
 	queueNanos       atomic.Int64
+
+	// Ingestion counters (see IngestStats).
+	appends            atomic.Int64
+	rowsAppended       atomic.Int64
+	entriesMigrated    atomic.Int64
+	statesMaintained   atomic.Int64
+	entriesInvalidated atomic.Int64
+	viewsMaintained    atomic.Int64
+	viewsInvalidated   atomic.Int64
 }
 
 // NewSession creates a session with the built-in UDAF library registered.
@@ -206,12 +265,18 @@ func NewSession(opts Options) *Session {
 		viewMaints:   map[string]*viewMaint{},
 		queryTimeout: opts.QueryTimeout,
 		numeric:      opts.Numeric,
+		sampler:      obs.NewSampler(opts.TraceRate),
+		metrics:      opts.Metrics,
+	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
 	}
 	s.cache.Store(cache.NewSharded(opts.CacheBytes, opts.CacheShards, space))
 	s.viewRewriting.Store(!opts.DisableViews)
 	if opts.MaxConcurrentQueries > 0 {
 		s.admit = make(chan struct{}, opts.MaxConcurrentQueries)
 	}
+	s.registerMetrics(opts.MetricsLabel)
 	s.registerBuiltinLibrary()
 	return s
 }
@@ -252,8 +317,26 @@ func (s *Session) Stats() EngineStats {
 		RowsScanned:      s.rowsScanned.Load(),
 		QueryTime:        time.Duration(s.queryNanos.Load()),
 		QueueWait:        time.Duration(s.queueNanos.Load()),
+		QueriesQueued:    s.queriesQueued.Load(),
 	}
 }
+
+// IngestStats returns the session-lifetime ingestion counters.
+func (s *Session) IngestStats() IngestStats {
+	return IngestStats{
+		Appends:            s.appends.Load(),
+		RowsAppended:       s.rowsAppended.Load(),
+		EntriesMigrated:    s.entriesMigrated.Load(),
+		StatesMaintained:   s.statesMaintained.Load(),
+		EntriesInvalidated: s.entriesInvalidated.Load(),
+		ViewsMaintained:    s.viewsMaintained.Load(),
+		ViewsInvalidated:   s.viewsInvalidated.Load(),
+	}
+}
+
+// Metrics returns the session's metrics registry (the one passed in
+// Options.Metrics, or the private registry created in its absence).
+func (s *Session) Metrics() *obs.Registry { return s.metrics }
 
 // SetNumericPolicy switches strict/permissive numeric fault handling at
 // runtime (e.g. from the shell).

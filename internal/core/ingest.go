@@ -150,6 +150,7 @@ func (s *Session) Append(ctx context.Context, table string, delta *storage.Table
 	if delta.NumRows() == 0 {
 		// Nothing to ingest: keep the current version (and with it every
 		// cached fingerprint) instead of churning epochs.
+		s.noteAppend(res)
 		return res, nil
 	}
 
@@ -245,7 +246,20 @@ func (s *Session) Append(ctx context.Context, table string, delta *storage.Table
 	if err := s.cat.Register(newTbl); err != nil {
 		return nil, fmt.Errorf("append to %s: publish: %w", table, err)
 	}
+	s.noteAppend(res)
 	return res, nil
+}
+
+// noteAppend folds one successful append into the session-lifetime
+// ingestion counters (see IngestStats and the sudaf_ingest_* metrics).
+func (s *Session) noteAppend(res *AppendResult) {
+	s.appends.Add(1)
+	s.rowsAppended.Add(int64(res.RowsAppended))
+	s.entriesMigrated.Add(int64(res.EntriesMigrated))
+	s.statesMaintained.Add(int64(res.StatesMaintained))
+	s.entriesInvalidated.Add(int64(res.EntriesInvalidated))
+	s.viewsMaintained.Add(int64(res.ViewsMaintained))
+	s.viewsInvalidated.Add(int64(res.ViewsInvalidated))
 }
 
 // AppendCSV ingests a CSV batch (WriteCSV's typed-header format) into a

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"sudaf/internal/cache"
@@ -12,6 +13,7 @@ import (
 	"sudaf/internal/errs"
 	"sudaf/internal/exec"
 	"sudaf/internal/expr"
+	"sudaf/internal/obs"
 	"sudaf/internal/rewrite"
 	"sudaf/internal/scalar"
 	"sudaf/internal/sqlparse"
@@ -61,6 +63,10 @@ type Result struct {
 	Events []string
 	// Stats is the per-query cost/cache observability record.
 	Stats QueryStats
+	// Trace is this query's span tree, present only when the session's
+	// TraceRate sampled it (nil otherwise). Render with Trace.Tree() or
+	// Trace.JSON().
+	Trace *obs.Trace
 }
 
 // queryCtx is the shared-nothing per-call state of one query: the
@@ -73,6 +79,10 @@ type queryCtx struct {
 	cat   *catalog.Catalog
 	cache *cache.Cache
 	stats QueryStats
+	// sp is the current parent span for instrumentation (nil when the
+	// query is not sampled — every span call is nil-safe and free). It is
+	// only touched by the query's orchestration goroutine.
+	sp *obs.Span
 }
 
 // tempCat returns the catalog to register subquery temporaries in. The
@@ -127,7 +137,18 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	if queued > 0 {
+		s.queriesQueued.Add(1)
+	}
 	s.queriesStarted.Add(1)
+	// Trace sampling: a sampled query gets a span tree threaded through
+	// the whole pipeline; an unsampled one threads nil spans, which every
+	// span method treats as a free no-op.
+	var tr *obs.Trace
+	if s.sampler.Sample() {
+		tr = obs.NewTrace("query")
+		tr.Root().SetStr("mode", mode.String())
+	}
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -144,6 +165,7 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 		}
 		elapsed := time.Since(start)
 		s.queryNanos.Add(int64(elapsed))
+		s.queryHist.Observe(elapsed.Seconds())
 		if err != nil {
 			s.queriesFailed.Add(1)
 			return
@@ -153,11 +175,15 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 		res.Stats.WallTime = elapsed
 		res.Stats.QueueWait = queued
 		res.Stats.RowsScanned = res.RowsScanned
+		tr.Finish()
+		res.Trace = tr
 	}()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	psp := tr.Root().Child("parse")
 	stmt, err := sqlparse.Parse(sql)
+	psp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", errs.ErrParse, err)
 	}
@@ -165,7 +191,7 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 	// so concurrent appends (which publish new versions, never mutate
 	// old ones) stay invisible to in-flight scans, batch cursors and
 	// row iterators.
-	qc := &queryCtx{cat: s.cat.Snapshot(), cache: s.stateCache()}
+	qc := &queryCtx{cat: s.cat.Snapshot(), cache: s.stateCache(), sp: tr.Root()}
 	return s.runStmt(ctx, qc, stmt, mode, 0)
 }
 
@@ -188,7 +214,14 @@ func (s *Session) runStmt(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt
 		if ref.Sub == nil {
 			continue
 		}
+		// The subquery gets its own span subtree: swap it in as the
+		// current parent for the recursive call, restore after.
+		parent := qc.sp
+		qc.sp = parent.Child("subquery")
+		qc.sp.SetStr("alias", ref.Alias)
 		sub, err := s.runStmt(ctx, qc, ref.Sub, mode, depth+1)
+		qc.sp.End()
+		qc.sp = parent
 		if err != nil {
 			return nil, err
 		}
@@ -219,17 +252,23 @@ func (s *Session) runStmt(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt
 	}
 
 	if !s.hasAggregates(stmt) && len(stmt.GroupBy) == 0 {
+		sp := qc.sp.Child("scan/project")
 		r, err := s.eng.RunSimpleIn(ctx, qc.cat, stmt)
 		if err != nil {
 			return nil, err
 		}
+		sp.SetInt("rows", int64(r.Rows))
+		sp.End()
 		return &Result{Table: r.Table, RowsScanned: r.Rows, Groups: r.Groups}, nil
 	}
 
+	psp := qc.sp.Child("plan")
 	dp, err := s.eng.PrepareDataIn(qc.cat, stmt)
 	if err != nil {
 		return nil, err
 	}
+	psp.SetStr("fingerprint", dp.Fingerprint)
+	psp.End()
 
 	// Extract aggregate calls into placeholders.
 	var calls []*expr.Call
@@ -252,14 +291,20 @@ func (s *Session) runStmt(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt
 			spec.Finishers = append(spec.Finishers, fin)
 			spec.Labels = append(spec.Labels, call.String())
 		}
+		ssp := qc.sp.Child("scan/agg")
 		gr, err := s.eng.RunSpecs(ctx, dp, reg)
 		if err != nil {
 			return nil, err
 		}
+		noteScanAgg(ssp, gr)
+		ssp.End()
+		fsp := qc.sp.Child("finisher")
 		out, err := exec.BuildOutput(ctx, stmt, dp, gr, spec)
 		if err != nil {
 			return nil, err
 		}
+		fsp.SetInt("groups", int64(out.Groups))
+		fsp.End()
 		qc.noteKernels(gr)
 		res := &Result{Table: out.Table, RowsScanned: gr.Rows, Groups: out.Groups,
 			NumericFaults: out.NumericFaults, Stats: qc.stats}
@@ -285,6 +330,18 @@ func (qc *queryCtx) noteKernels(gr *exec.GroupResult) {
 			qc.stats.Kernels = append(qc.stats.Kernels, k)
 		}
 	}
+}
+
+// noteScanAgg annotates a scan/agg span with the run's cost facts:
+// joined rows read, groups produced, morsel batch count, and the
+// compiled kernels that served it. Nil-safe like every span call.
+func noteScanAgg(sp *obs.Span, gr *exec.GroupResult) {
+	sp.SetInt("rows", int64(gr.Rows))
+	sp.SetInt("groups", int64(gr.NumGroups))
+	if gr.Rows > 0 {
+		sp.SetInt("batches", int64((gr.Rows+exec.BatchSize-1)/exec.BatchSize))
+	}
+	sp.SetStr("kernels", strings.Join(gr.Kernels, ","))
 }
 
 // noteNumericFaults records a degradation event for tolerated numeric
@@ -351,6 +408,7 @@ func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stm
 	}
 
 	// Decompose every aggregate call into bound states + a finisher.
+	csp := qc.sp.Child("canonicalize")
 	for _, call := range calls {
 		form, err := s.formFor(call.Name)
 		if err != nil {
@@ -385,6 +443,9 @@ func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stm
 		})
 		spec.Labels = append(spec.Labels, call.String())
 	}
+	csp.SetInt("aggregates", int64(len(calls)))
+	csp.SetInt("states", int64(len(slotOrder)))
+	csp.End()
 
 	// Cache consultation (share mode only). Guarded: a cache that panics
 	// behaves like a cache that misses. The query runs against its
@@ -393,6 +454,7 @@ func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stm
 	var entry *cache.GroupTable
 	entryOK := false
 	if mode == ModeShare {
+		lsp := qc.sp.Child("sharing-lookup")
 		guard("entry lookup", func() {
 			entry, entryOK = qc.cache.Entry(dp.Fingerprint)
 		})
@@ -415,6 +477,11 @@ func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stm
 				}
 			})
 		}
+		lsp.SetInt("exact", int64(qc.stats.CacheExactHits))
+		lsp.SetInt("shared", int64(qc.stats.CacheSharedHits))
+		lsp.SetInt("sign", int64(qc.stats.CacheSignHits))
+		lsp.SetInt("miss", int64(qc.stats.CacheMisses))
+		lsp.End()
 	}
 
 	var missing []*slot
@@ -428,15 +495,18 @@ func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stm
 	dpRun := dp
 	usedView := ""
 	if len(missing) > 0 && s.ViewRewriting() && !entryOK {
+		vsp := qc.sp.Child("view-rewrite")
 		if dpv, rollup, name := s.tryViews(qc, dp, missing); dpv != nil {
 			dpRun = dpv
 			usedView = name
+			vsp.SetStr("view", name)
 			for _, sl := range missing {
 				st := rewrite.RollupState(sl.st, rollup.StateCol[sl.st.Key()])
 				sl.taskIdx = addStateTask(reg, st, sl.st.Key())
 			}
 			missing = nil
 		}
+		vsp.End()
 	}
 
 	// Remaining missing states execute from base data, plus §5.3
@@ -467,11 +537,15 @@ func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stm
 		}
 		fullHit = true
 	} else {
+		ssp := qc.sp.Child("scan/agg")
+		ssp.SetInt("tasks", int64(reg.Len()))
 		var err error
 		gr, err = s.eng.RunSpecs(ctx, dpRun, reg)
 		if err != nil {
 			return nil, err
 		}
+		noteScanAgg(ssp, gr)
+		ssp.End()
 		qc.noteKernels(gr)
 	}
 
@@ -498,6 +572,8 @@ func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stm
 	// Cache the freshly computed states (and companions). Guarded: a
 	// failed insert costs future sharing, not this query.
 	if mode == ModeShare && !fullHit {
+		stsp := qc.sp.Child("cache-store")
+		stored := 0
 		guard("state insert", func() {
 			gt := cache.NewGroupTable(dp.Fingerprint, gr.KeyNames, gr.Keys, gr.KeyColumns)
 			// Attach the maintenance record: the statement's data part
@@ -520,14 +596,20 @@ func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stm
 			}
 			if gt.NumStates() > 0 {
 				qc.cache.Put(gt)
+				stored = gt.NumStates()
 			}
 		})
+		stsp.SetInt("states", int64(stored))
+		stsp.End()
 	}
 
+	fsp := qc.sp.Child("finisher")
 	out, err := exec.BuildOutput(ctx, stmt, dpRun, gr, spec)
 	if err != nil {
 		return nil, err
 	}
+	fsp.SetInt("groups", int64(out.Groups))
+	fsp.End()
 	if mode == ModeShare {
 		events = append(events, qc.cache.DrainEvents()...)
 	}

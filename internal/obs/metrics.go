@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64 metric, safe for
+// concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// DefBuckets are the default latency histogram bounds in seconds,
+// spanning 100µs (a cache-served query) to 10s (a cold multi-million-row
+// scan).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram with Prometheus
+// semantics: counts are cumulative per bucket at export time, plus a
+// total sum and count. Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumBit atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// NewHistogram creates a histogram with the given upper bounds (must be
+// sorted ascending; nil uses DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBit.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBit.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBit.Load()) }
+
+// Metric type strings for the Prometheus TYPE line.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// sample is one label set's value source within a family.
+type sample struct {
+	labels  string // rendered label pairs without braces, e.g. `engine="pg"`
+	intFn   func() int64
+	floatFn func() float64
+	hist    *Histogram
+}
+
+// family is one metric name: its metadata plus a sample per label set.
+type family struct {
+	name, typ, help string
+	order           []string
+	samples         map[string]*sample
+}
+
+// Registry aggregates metric families for export. Multiple engines may
+// register into one registry as long as their label sets differ
+// (typically an engine="..." label); re-registering an existing
+// (name, labels) pair replaces the sample, so short-lived sessions (e.g.
+// a benchmark loop) don't leak series.
+type Registry struct {
+	mu       sync.Mutex
+	order    []*family
+	byName   map[string]*family
+	expvarOn sync.Once
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: map[string]*family{}} }
+
+func (r *Registry) add(name, labels, typ, help string, s *sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, typ: typ, help: help, samples: map[string]*sample{}}
+		r.byName[name] = f
+		r.order = append(r.order, f)
+	}
+	s.labels = labels
+	if _, exists := f.samples[labels]; !exists {
+		f.order = append(f.order, labels)
+	}
+	f.samples[labels] = s
+}
+
+// CounterFunc registers a counter family sample backed by a read
+// function (typically an atomic load). labels is a rendered label list
+// such as `engine="pg"`, or "" for none.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() int64) {
+	r.add(name, labels, TypeCounter, help, &sample{intFn: fn})
+}
+
+// GaugeFunc registers a gauge family sample backed by a read function.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.add(name, labels, TypeGauge, help, &sample{floatFn: fn})
+}
+
+// Counter registers and returns an owned counter.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	c := &Counter{}
+	r.add(name, labels, TypeCounter, help, &sample{intFn: c.Value})
+	return c
+}
+
+// Histogram registers and returns a histogram (nil bounds = DefBuckets).
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.add(name, labels, TypeHistogram, help, &sample{hist: h})
+	return h
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, lbl := range f.order {
+			s := f.samples[lbl]
+			switch {
+			case s.hist != nil:
+				writeHistogram(w, f.name, lbl, s.hist)
+			case s.intFn != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, braced(lbl), s.intFn())
+			default:
+				fmt.Fprintf(w, "%s%s %v\n", f.name, braced(lbl), s.floatFn())
+			}
+		}
+	}
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func withLe(labels, le string) string {
+	pair := `le="` + le + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return "{" + labels + "," + pair + "}"
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLe(labels, formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLe(labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %v\n", name, braced(labels), h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), h.Count())
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// ExpvarFunc returns a function suitable for expvar.Publish: a map of
+// "name{labels}" → value (histograms export their _sum and _count).
+func (r *Registry) ExpvarFunc() func() any {
+	return func() any {
+		out := map[string]any{}
+		r.mu.Lock()
+		fams := append([]*family(nil), r.order...)
+		r.mu.Unlock()
+		for _, f := range fams {
+			for _, lbl := range f.order {
+				s := f.samples[lbl]
+				key := f.name + braced(lbl)
+				switch {
+				case s.hist != nil:
+					out[key+"_sum"] = s.hist.Sum()
+					out[key+"_count"] = s.hist.Count()
+				case s.intFn != nil:
+					out[key] = s.intFn()
+				default:
+					out[key] = s.floatFn()
+				}
+			}
+		}
+		return out
+	}
+}
+
+// PublishExpvar publishes the registry under the given expvar name,
+// once; re-publishing (or a name already taken by an earlier registry)
+// is a no-op rather than the panic expvar.Publish would raise.
+func (r *Registry) PublishExpvar(name string) {
+	r.expvarOn.Do(func() {
+		if expvar.Get(name) == nil {
+			expvar.Publish(name, expvar.Func(r.ExpvarFunc()))
+		}
+	})
+}
+
+// Handler returns an http.Handler serving the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// MetricsServer is a running metrics endpoint; Close shuts it down.
+type MetricsServer struct {
+	// Addr is the actual listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Close stops the server.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// ServeMetrics starts an HTTP server on addr exposing:
+//
+//	/metrics      Prometheus text format (reg; 404 when reg is nil)
+//	/debug/vars   expvar JSON (reg also published under "sudaf_metrics")
+//	/debug/pprof  the standard pprof profiles
+//
+// It returns once the listener is bound; the server runs until Close.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	mux := http.NewServeMux()
+	if reg != nil {
+		reg.PublishExpvar("sudaf_metrics")
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := NewTrace("query")
+	root := tr.Root()
+	root.SetStr("mode", "sudaf-share")
+	p := root.Child("parse")
+	p.End()
+	sa := root.Child("scan/agg")
+	sa.SetInt("rows", 100000)
+	sa.SetStr("kernels", "sum,count")
+	m := sa.Child("morsel")
+	m.End()
+	sa.End()
+	f := root.Child("finisher")
+	f.SetInt("groups", 10)
+	f.End()
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("want 5 spans, got %d", len(spans))
+	}
+	if got := tr.Find("scan/agg"); got == nil || len(got.Children) != 1 {
+		t.Fatalf("scan/agg span missing or wrong children: %+v", got)
+	}
+	tree := tr.Tree()
+	for _, want := range []string{"query", "mode=sudaf-share", "├─ parse", "│  └─ morsel", "rows=100000", "kernels=sum,count", "└─ finisher", "groups=10"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("Tree() missing %q:\n%s", want, tree)
+		}
+	}
+	js, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "query"`, `"name": "morsel"`, `"key": "rows"`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("JSON() missing %q:\n%s", want, js)
+		}
+	}
+}
+
+func TestSpanDurations(t *testing.T) {
+	tr := NewTrace("q")
+	c := tr.Root().Child("work")
+	time.Sleep(2 * time.Millisecond)
+	c.End()
+	tr.Finish()
+	if c.DurNS <= 0 {
+		t.Fatalf("child duration not recorded: %d", c.DurNS)
+	}
+	if root := tr.Root(); root.DurNS < c.DurNS {
+		t.Fatalf("root (%d ns) shorter than child (%d ns)", root.DurNS, c.DurNS)
+	}
+	if c.StartNS < 0 {
+		t.Fatalf("negative start offset: %d", c.StartNS)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Root()
+	c := sp.Child("x") // must not panic, must stay nil
+	if c != nil {
+		t.Fatal("nil span Child returned non-nil")
+	}
+	c.SetInt("rows", 1)
+	c.SetStr("k", "v")
+	c.End()
+	tr.Finish()
+	if tr.Tree() != "" || tr.Find("x") != nil || tr.Spans() != nil {
+		t.Fatal("nil trace rendered content")
+	}
+	if s, err := tr.JSON(); err != nil || s != "" {
+		t.Fatalf("nil trace JSON = %q, %v", s, err)
+	}
+}
+
+func TestNilSpanAllocationFree(t *testing.T) {
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := sp.Child("stage")
+		c.SetInt("rows", 42)
+		c.SetStr("kernels", "sum")
+		c.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	if NewSampler(0) != nil || NewSampler(-1) != nil {
+		t.Fatal("rate<=0 should return nil sampler")
+	}
+	var nilS *Sampler
+	if nilS.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	always := NewSampler(1)
+	for i := 0; i < 10; i++ {
+		if !always.Sample() {
+			t.Fatal("rate=1 should always sample")
+		}
+	}
+	tenth := NewSampler(0.1)
+	n := 0
+	for i := 0; i < 1000; i++ {
+		if tenth.Sample() {
+			n++
+		}
+	}
+	if n != 100 {
+		t.Fatalf("rate=0.1 over 1000 queries sampled %d, want 100", n)
+	}
+}
+
+func TestCounterAndHistogram(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.605; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sudaf_queries_total", `engine="pg"`, "Queries run.")
+	c.Add(7)
+	r.CounterFunc("sudaf_queries_total", `engine="spark"`, "Queries run.", func() int64 { return 3 })
+	r.GaugeFunc("sudaf_cache_bytes", "", "Cache footprint.", func() float64 { return 1.5 })
+	h := r.Histogram("sudaf_query_seconds", `engine="pg"`, "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP sudaf_queries_total Queries run.",
+		"# TYPE sudaf_queries_total counter",
+		`sudaf_queries_total{engine="pg"} 7`,
+		`sudaf_queries_total{engine="spark"} 3`,
+		"# TYPE sudaf_cache_bytes gauge",
+		"sudaf_cache_bytes 1.5",
+		"# TYPE sudaf_query_seconds histogram",
+		`sudaf_query_seconds_bucket{engine="pg",le="0.1"} 1`,
+		`sudaf_query_seconds_bucket{engine="pg",le="1"} 2`,
+		`sudaf_query_seconds_bucket{engine="pg",le="+Inf"} 3`,
+		`sudaf_query_seconds_sum{engine="pg"} 5.55`,
+		`sudaf_query_seconds_count{engine="pg"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear once per family even with two label sets.
+	if n := strings.Count(out, "# TYPE sudaf_queries_total"); n != 1 {
+		t.Errorf("TYPE line appears %d times, want 1", n)
+	}
+}
+
+func TestRegistryReRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("x_total", `engine="pg"`, "h", func() int64 { return 1 })
+	r.CounterFunc("x_total", `engine="pg"`, "h", func() int64 { return 2 })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `x_total{engine="pg"} 2`) {
+		t.Fatalf("re-registration did not replace sample:\n%s", out)
+	}
+	if n := strings.Count(out, `x_total{engine="pg"}`); n != 1 {
+		t.Fatalf("sample duplicated %d times:\n%s", n, out)
+	}
+}
+
+func TestExpvarFunc(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("a_total", "", "h", func() int64 { return 9 })
+	h := r.Histogram("lat_seconds", "", "h", nil)
+	h.Observe(0.2)
+	m, ok := r.ExpvarFunc()().(map[string]any)
+	if !ok {
+		t.Fatal("ExpvarFunc did not return a map")
+	}
+	if m["a_total"] != int64(9) {
+		t.Fatalf("a_total = %v", m["a_total"])
+	}
+	if m["lat_seconds_count"] != int64(1) {
+		t.Fatalf("lat_seconds_count = %v", m["lat_seconds_count"])
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("sudaf_up", "", "Up.", func() int64 { return 1 })
+	srv, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "sudaf_up 1") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "sudaf_metrics") {
+		t.Fatalf("/debug/vars: code=%d body missing sudaf_metrics", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	if got, want := h.Sum(), 4.0; got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}

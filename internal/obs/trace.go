@@ -1,0 +1,239 @@
+// Package obs is the engine's observability layer: per-query span
+// tracing, a metrics registry with Prometheus text and expvar export,
+// and the HTTP endpoint that serves both (plus pprof).
+//
+// # Tracing
+//
+// A query records a Trace: a tree of Spans mirroring the query pipeline
+// (parse → plan → canonicalize → sharing-lookup → scan/agg → finisher →
+// cache-store), each with wall time and key=value attributes (rows,
+// batches, kernels, cache-hit counts). Traces are built by the query
+// orchestration goroutine only and read after the query finishes, so no
+// locking is needed.
+//
+// The hot path stays allocation-free when tracing is off: every Span
+// method is safe on a nil receiver and does nothing, so instrumentation
+// sites call unconditionally and a disabled query (Sampler said no)
+// threads a nil trace through the whole pipeline at zero cost.
+//
+// # Metrics
+//
+// A Registry aggregates counter/gauge/histogram families, each family
+// holding one sample per label set (so several engines can share a
+// registry, distinguished by an engine="..." label). Export formats:
+// Prometheus text (WritePrometheus, Handler) and expvar (ExpvarFunc).
+// ServeMetrics starts an HTTP server with /metrics, /debug/vars and
+// /debug/pprof.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key=value annotation on a span. Exactly one of Str/Int is
+// meaningful, selected by IsStr.
+type Attr struct {
+	Key   string `json:"key"`
+	Str   string `json:"str,omitempty"`
+	Int   int64  `json:"int,omitempty"`
+	IsStr bool   `json:"-"`
+}
+
+func (a Attr) value() string {
+	if a.IsStr {
+		return a.Str
+	}
+	return fmt.Sprintf("%d", a.Int)
+}
+
+// Span is one timed stage of a query. Spans form a tree under the
+// trace's root; children are appended in execution order. All methods
+// are safe on a nil receiver (they do nothing), which is how disabled
+// tracing stays allocation-free.
+type Span struct {
+	Name string `json:"name"`
+	// StartNS is the span's start offset from the trace start, in
+	// nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span's wall time in nanoseconds (0 until End).
+	DurNS    int64   `json:"dur_ns"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+
+	start   time.Time
+	traceT0 time.Time
+}
+
+// Child starts a child span. It returns nil (and records nothing) on a
+// nil receiver.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	now := time.Now()
+	c := &Span{Name: name, StartNS: now.Sub(sp.traceT0).Nanoseconds(), start: now, traceT0: sp.traceT0}
+	sp.Children = append(sp.Children, c)
+	return c
+}
+
+// SetInt records an integer attribute. No-op on a nil receiver.
+func (sp *Span) SetInt(key string, v int64) {
+	if sp == nil {
+		return
+	}
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Int: v})
+}
+
+// SetStr records a string attribute. No-op on a nil receiver. Empty
+// values are skipped so optional attributes (kernel lists, view names)
+// never render as noise.
+func (sp *Span) SetStr(key, v string) {
+	if sp == nil || v == "" {
+		return
+	}
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Str: v, IsStr: true})
+}
+
+// End stamps the span's duration. No-op on a nil receiver; idempotent
+// (the second End wins, which only happens if a caller double-ends).
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.DurNS = time.Since(sp.start).Nanoseconds()
+}
+
+// Trace is one query's span tree. It is built by the query goroutine and
+// rendered (Tree, JSON) after the query returns.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	now := time.Now()
+	return &Trace{root: &Span{Name: name, start: now, traceT0: now}}
+}
+
+// Root returns the root span (nil on a nil trace, keeping the nil-safe
+// chain intact: tr.Root().Child(...) is valid everywhere).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span. No-op on a nil trace.
+func (t *Trace) Finish() { t.Root().End() }
+
+// Tree renders the trace as an indented text tree:
+//
+//	query (1.93ms) mode=sudaf-share
+//	├─ parse (21µs)
+//	├─ scan/agg (1.7ms) rows=100000 groups=10 kernels=sum,count
+//	└─ finisher (88µs) groups=10
+func (t *Trace) Tree() string {
+	if t == nil || t.root == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeSpan(&b, t.root, "", "", true)
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, sp *Span, branch, indent string, root bool) {
+	b.WriteString(branch)
+	b.WriteString(sp.Name)
+	fmt.Fprintf(b, " (%v)", time.Duration(sp.DurNS).Round(time.Microsecond))
+	for _, a := range sp.Attrs {
+		b.WriteString(" " + a.Key + "=" + a.value())
+	}
+	b.WriteString("\n")
+	for i, c := range sp.Children {
+		last := i == len(sp.Children)-1
+		cb, ci := "├─ ", "│  "
+		if last {
+			cb, ci = "└─ ", "   "
+		}
+		writeSpan(b, c, indent+cb, indent+ci, false)
+	}
+}
+
+// JSON renders the trace as indented JSON (the span tree, durations in
+// nanoseconds).
+func (t *Trace) JSON() (string, error) {
+	if t == nil || t.root == nil {
+		return "", nil
+	}
+	b, err := json.MarshalIndent(t.root, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Spans returns every span in the trace in depth-first order (testing
+// and tooling).
+func (t *Trace) Spans() []*Span {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	var out []*Span
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		out = append(out, sp)
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Find returns the first span with the given name in depth-first order.
+func (t *Trace) Find(name string) *Span {
+	for _, sp := range t.Spans() {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	return nil
+}
+
+// Sampler decides, allocation-free, whether a query is traced. A rate of
+// 1 traces everything, 0 nothing, 0.01 every 100th query (deterministic
+// modulus over an atomic counter, so a burst of queries is sampled
+// evenly rather than randomly). A nil Sampler never samples.
+type Sampler struct {
+	every int64
+	n     atomic.Int64
+}
+
+// NewSampler builds a sampler for the given rate; rate <= 0 returns nil
+// (never sample).
+func NewSampler(rate float64) *Sampler {
+	if rate <= 0 {
+		return nil
+	}
+	every := int64(1)
+	if rate < 1 {
+		every = int64(1 / rate)
+	}
+	return &Sampler{every: every}
+}
+
+// Sample reports whether the next query should be traced.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	if s.every == 1 {
+		return true
+	}
+	return s.n.Add(1)%s.every == 1
+}

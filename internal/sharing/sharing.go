@@ -242,22 +242,32 @@ func approxOne(v float64) bool { return math.Abs(v-1) <= 1e-9 }
 // algebraic decision is verified numerically before being accepted.
 // positiveData tells the verifier the underlying values are known > 0.
 func Share(s1, s2 canonical.State, positiveData bool) (scalar.Chain, bool) {
+	d, ok := ShareDetail(s1, s2, positiveData)
+	return d.R, ok
+}
+
+// ShareDetail is Share with provenance: on success the returned Decision
+// carries the rewriting chain R with s1 = R∘s2, the parameter conditions
+// that were checked (empty for strong sharing), and whether the
+// rewriting is sound only over positive data. EXPLAIN uses it to report
+// *why* a shared hit happened.
+func ShareDetail(s1, s2 canonical.State, positiveData bool) (Decision, bool) {
 	if s1.Key() == s2.Key() {
-		return scalar.IdentityChain(), true
+		return Decision{OK: true, R: scalar.IdentityChain()}, true
 	}
 	if s1.Op != canonical.OpCount && s2.Op != canonical.OpCount {
 		if s1.Base.String() != s2.Base.String() {
-			return scalar.Chain{}, false
+			return Decision{}, false
 		}
 	}
 	d := Decide(s1.Op, s1.F, s2.Op, s2.F, positiveData)
 	if !d.OK {
-		return scalar.Chain{}, false
+		return Decision{}, false
 	}
 	for _, c := range d.Conds {
 		v, err := scalar.CEval(c.C, nil)
 		if err != nil || math.Abs(v-c.Want) > 1e-9 {
-			return scalar.Chain{}, false
+			return Decision{}, false
 		}
 	}
 	if d.PositiveOnly && !positiveData {
@@ -266,14 +276,14 @@ func Share(s1, s2 canonical.State, positiveData bool) (scalar.Chain, bool) {
 		// real domain anyway: some (e.g. odd/even-compatible powers)
 		// remain valid; reject the rest.
 		if !verify(s1, s2, d.R, false) {
-			return scalar.Chain{}, false
+			return Decision{}, false
 		}
-		return d.R, true
+		return d, true
 	}
 	if !verify(s1, s2, d.R, positiveData || d.PositiveOnly) {
-		return scalar.Chain{}, false
+		return Decision{}, false
 	}
-	return d.R, true
+	return d, true
 }
 
 // verify empirically checks s1(X) = r(s2(X)) over random multisets drawn

@@ -26,6 +26,18 @@
 // The bundled engine is a columnar in-memory SQL executor with hash
 // joins and partitioned parallel aggregation; Baseline mode reproduces
 // the hardcoded-UDAF systems the paper compares against.
+//
+// # Observability
+//
+// Engine.Explain reports how a statement would run — canonical forms,
+// the rewritten SQL, and in Share mode the cache provenance of every
+// aggregation state (exact hit, Theorem 4.1 sharing with the scalar
+// rewriting and conditions, sign-split reconstruction, or why it
+// missed) — without executing it. Options.TraceRate samples queries
+// into per-stage span trees on Result.Trace, and Engine.ServeMetrics
+// exports engine/cache/ingestion counters and latency histograms over
+// Prometheus text, expvar and pprof. See docs/OBSERVABILITY.md for the
+// full reference.
 package sudaf
 
 import (
@@ -35,6 +47,7 @@ import (
 	"sudaf/internal/cache"
 	"sudaf/internal/canonical"
 	"sudaf/internal/core"
+	"sudaf/internal/obs"
 	"sudaf/internal/storage"
 	"sudaf/internal/symbolic"
 )
@@ -94,9 +107,48 @@ type CacheStats = cache.Stats
 type QueryStats = core.QueryStats
 
 // EngineStats are engine-lifetime aggregate counters (queries started /
-// completed / failed, total rows scanned, cumulative query time and
-// admission queue wait), maintained atomically across concurrent queries.
+// completed / failed / queued, total rows scanned, cumulative query time
+// and admission queue wait), maintained atomically across concurrent
+// queries.
 type EngineStats = core.EngineStats
+
+// IngestStats are engine-lifetime ingestion counters: append batches and
+// rows ingested, cache entries delta-maintained vs invalidated, and
+// materialized views delta-folded vs dropped.
+type IngestStats = core.IngestStats
+
+// Explain is the structured result of Engine.Explain: the canonical
+// decomposition of a query's aggregates and, in Share mode, the sharing
+// provenance of every aggregation state.
+type Explain = core.Explain
+
+// ExplainAggregate is one aggregate call's entry in an Explain: the call,
+// its canonical form (or baseline execution strategy), and the state
+// variables its terminating function reads.
+type ExplainAggregate = core.ExplainAggregate
+
+// ExplainState is one deduplicated aggregation state in an Explain, with
+// its cache provenance in Share mode (hit kind, matched state, scalar
+// rewriting, conditions, or miss reason).
+type ExplainState = core.ExplainState
+
+// Trace is a sampled query's span tree, attached to Result.Trace when
+// Options.TraceRate sampled the query. Render it with Tree or JSON.
+type Trace = obs.Trace
+
+// Span is one timed stage of a traced query; see Trace.
+type Span = obs.Span
+
+// MetricsRegistry aggregates engine metrics for export; pass one in
+// Options.Metrics to make several engines share an endpoint
+// (distinguished by Options.MetricsLabel).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsServer is a running metrics HTTP endpoint; see Engine.ServeMetrics.
+type MetricsServer = obs.MetricsServer
 
 // Storage re-exports, so applications can build and load tables without
 // importing internal packages.
@@ -178,13 +230,29 @@ func (e *Engine) DefineSketchUDAF(name string, k int, q float64) error {
 	return e.s.DefineSketchUDAF(name, k, q)
 }
 
-// Explain returns the canonical form (F, ⊕, T) derived for a UDAF.
-func (e *Engine) Explain(name string) (string, bool) {
+// ExplainUDAF returns the canonical form (F, ⊕, T) derived for a
+// registered UDAF, rendered as text; ok is false for unknown names.
+func (e *Engine) ExplainUDAF(name string) (string, bool) {
 	f, ok := e.s.UDAF(name)
 	if !ok {
 		return "", false
 	}
 	return f.String(), true
+}
+
+// Explain reports how a statement would execute in the given mode,
+// without executing it: the normalized data part and its cache
+// fingerprint, each aggregate's canonical form (F, ⊕, T), the
+// deduplicated aggregation states, the RQ1/RQ2 SQL rewriting, and — in
+// Share mode — per-state sharing provenance probed read-only against the
+// live cache: the matched cached state, the scalar rewriting r applied,
+// the parameter conditions checked, or why the state misses. Render the
+// result with its String method, or walk the struct.
+//
+// Explain never mutates the engine: no execution, no cache stores, no
+// LRU touches, no stats. Subqueries are not supported.
+func (e *Engine) Explain(sql string, mode Mode) (*Explain, error) {
+	return e.s.ExplainQuery(sql, mode)
 }
 
 // UDAFNames lists registered UDAFs.
@@ -290,6 +358,22 @@ func (e *Engine) ClearCache() { e.s.ClearCache() }
 
 // Stats returns engine-lifetime aggregate counters.
 func (e *Engine) Stats() EngineStats { return e.s.Stats() }
+
+// IngestStats returns engine-lifetime ingestion counters.
+func (e *Engine) IngestStats() IngestStats { return e.s.IngestStats() }
+
+// Metrics returns the engine's metrics registry: the one passed in
+// Options.Metrics, or the private registry created when none was.
+func (e *Engine) Metrics() *MetricsRegistry { return e.s.Metrics() }
+
+// ServeMetrics starts an HTTP endpoint on addr (e.g. ":9090", or
+// "127.0.0.1:0" to pick a free port — the bound address is in the
+// returned server's Addr) serving /metrics in Prometheus text format,
+// /debug/vars (expvar) and /debug/pprof. Close the returned server to
+// stop it.
+func (e *Engine) ServeMetrics(addr string) (*MetricsServer, error) {
+	return e.s.ServeMetrics(addr)
+}
 
 // EnableViews toggles aggregate-view rewriting.
 func (e *Engine) EnableViews(on bool) { e.s.SetViewRewriting(on) }

@@ -34,7 +34,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err := eng.DefineUDAF("rms", []string{"x"}, "sqrt(sum(x^2)/count())"); err != nil {
 		t.Fatal(err)
 	}
-	form, ok := eng.Explain("rms")
+	form, ok := eng.ExplainUDAF("rms")
 	if !ok || !strings.Contains(form, "F=") {
 		t.Fatalf("Explain = %q, %v", form, ok)
 	}
