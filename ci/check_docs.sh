@@ -47,8 +47,8 @@ echo "== doc-referenced identifiers =="
 # `Options.TraceRate`, `Result.Trace` or `sudaf.Open` in user-facing docs
 # must name identifiers that exist in the Go sources, so the docs cannot
 # drift silently when the API changes.
-docs="README.md docs/OBSERVABILITY.md"
-refs=$(grep -ohE '`(sudaf|Engine|Options|Result|Trace|Span|Explain|AppendResult)\.[A-Z][A-Za-z]*' $docs | tr -d '`' | sort -u || true)
+docs="README.md docs/OBSERVABILITY.md docs/SERVING.md"
+refs=$(grep -ohE '`(sudaf|Engine|Options|Result|Trace|Span|Explain|AppendResult|Server|Client|Config)\.[A-Z][A-Za-z]*' $docs | tr -d '`' | sort -u || true)
 for ref in $refs; do
   ident=${ref#*.}
   if ! grep -qrE "(func |func \([^)]*\) |\s)${ident}[[:space:](]" --include='*.go' . ; then
@@ -68,6 +68,23 @@ src_metrics=$(grep -ohE '"sudaf_[a-z_]+_(total|seconds)"' internal/core/metrics.
 for m in $src_metrics; do
   if ! grep -q "$m" docs/OBSERVABILITY.md; then
     err "metric $m is registered but undocumented in docs/OBSERVABILITY.md"
+  fi
+done
+
+# Likewise for the serving layer: every sudaf_server_* family mentioned
+# in docs/SERVING.md must be registered, and every registered family
+# must be documented there. Server families include plain gauges, so
+# the pattern is not limited to the _total/_seconds suffixes.
+doc_srv=$(grep -ohE 'sudaf_server_[a-z_]+' docs/SERVING.md | sort -u)
+for m in $doc_srv; do
+  if ! grep -qr --include='*.go' "\"$m\"" internal/server/; then
+    err "docs/SERVING.md documents metric $m but internal/server does not register it"
+  fi
+done
+srv_metrics=$(grep -ohE '"sudaf_server_[a-z_]+"' internal/server/metrics.go | tr -d '"' | sort -u)
+for m in $srv_metrics; do
+  if ! grep -q "$m" docs/SERVING.md; then
+    err "metric $m is registered but undocumented in docs/SERVING.md"
   fi
 done
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Serving-layer integration smoke: boot sudaf-serve against an
+# in-memory fixture and run its built-in -smoke suite under the race
+# detector — concurrent queries and appends over real sockets, a forced
+# drain mid-burst, a goroutine-leak check, and a warm-cache restart.
+# The binary exits non-zero if any check fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== sudaf-serve -smoke (race) =="
+go run -race ./cmd/sudaf-serve -smoke
+
+# And the ordinary serve path boots, answers health, and drains on
+# SIGTERM within its timeout.
+echo "== sudaf-serve boot/drain =="
+go build -o /tmp/sudaf-serve ./cmd/sudaf-serve
+/tmp/sudaf-serve -addr 127.0.0.1:19171 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+  if curl -sf http://127.0.0.1:19171/v1/health >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf http://127.0.0.1:19171/v1/health | grep -q '"status":"ok"' || {
+  echo "health check failed"; exit 1; }
+kill -TERM "$PID"
+wait "$PID" || { echo "server exited non-zero on SIGTERM"; exit 1; }
+echo "serve smoke OK"

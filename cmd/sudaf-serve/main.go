@@ -1,0 +1,122 @@
+// Command sudaf-serve runs the SUDAF engine behind the resilient HTTP
+// serving layer: per-client sessions, prepared statements, streamed
+// NDJSON results, overload shedding, and graceful drain on SIGINT or
+// SIGTERM.
+//
+// Usage:
+//
+//	sudaf-serve -addr :8080 -load sales=sales.csv -load stores=stores.csv
+//
+// On SIGINT/SIGTERM the server stops accepting work, finishes every
+// in-flight request (bounded by -drain-timeout), then closes the
+// engine the same way — a deploy never abandons accepted queries.
+//
+// The -smoke flag runs a self-contained integration exercise instead
+// of serving: it boots a server over an in-memory fixture, hammers it
+// with concurrent queries and appends, forces a drain mid-burst,
+// verifies no work was lost and no goroutine leaked, then boots a
+// second server over the same engine and proves the state cache stayed
+// warm. Exit code 0 means every check passed; CI runs this under
+// -race.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sudaf"
+	"sudaf/internal/server"
+)
+
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "engine parallelism (0 = NumCPU)")
+	maxQueries := flag.Int("max-concurrent-queries", 0, "engine admission cap (0 = none)")
+	maxInflight := flag.Int("max-inflight", 0, "server concurrent requests (0 = 16)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue before shedding (0 = 64)")
+	maxSessions := flag.Int("max-sessions", 0, "open client sessions (0 = 64)")
+	sessionConc := flag.Int("session-concurrency", 0, "per-session concurrent requests (0 = unbounded)")
+	maxConns := flag.Int("max-conns", 0, "open TCP connections (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
+	skipBad := flag.Bool("skip-bad-rows", true, "skip and count malformed CSV rows instead of failing the load")
+	smoke := flag.Bool("smoke", false, "run the integration smoke suite and exit")
+	flag.Var(&loads, "load", "name=path.csv (repeatable)")
+	flag.Parse()
+
+	if *smoke {
+		os.Exit(runSmoke())
+	}
+
+	eng := sudaf.Open(sudaf.Options{
+		Workers:              *workers,
+		MaxConcurrentQueries: *maxQueries,
+	})
+	for _, spec := range loads {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			fatal("bad -load %q, want name=path.csv", spec)
+		}
+		t, skipped, err := sudaf.LoadCSVWith(parts[0], parts[1], sudaf.CSVOptions{SkipBadRows: *skipBad})
+		if err != nil {
+			fatal("load %s: %v", spec, err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "load %s: skipped %d malformed row(s)\n", parts[0], skipped)
+		}
+		if err := eng.Register(t); err != nil {
+			fatal("register %s: %v", parts[0], err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Session:            eng.Session(),
+		MaxInflight:        *maxInflight,
+		QueueDepth:         *queueDepth,
+		MaxSessions:        *maxSessions,
+		SessionConcurrency: *sessionConc,
+		MaxConns:           *maxConns,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := srv.Start(*addr); err != nil {
+		fatal("listen: %v", err)
+	}
+	fmt.Printf("sudaf-serve listening on %s (%d table(s) loaded)\n", srv.Addr(), len(loads))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal("shutdown: %v", err)
+	}
+	if err := eng.Close(ctx); err != nil {
+		fatal("engine close: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "drained in %s, no requests abandoned\n",
+		time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sudaf-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

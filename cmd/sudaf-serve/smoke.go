@@ -1,0 +1,253 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"sudaf"
+	"sudaf/internal/errs"
+	"sudaf/internal/server"
+	"sudaf/internal/server/client"
+)
+
+// smokeQuery exercises a UDAF (qm) plus a builtin through a join, so
+// share-mode runs populate and reuse the state cache.
+const smokeQuery = `SELECT s_state, qm(ss_list_price), avg(ss_sales_price)
+	FROM store_sales, store WHERE ss_store_sk = s_store_sk
+	GROUP BY s_state ORDER BY s_state`
+
+// runSmoke is the -smoke entry point: a self-contained integration
+// suite for the serving layer, designed to run under -race in CI.
+// Returns the process exit code.
+func runSmoke() int {
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+	}
+	step := func(format string, args ...any) {
+		fmt.Printf("smoke: "+format+"\n", args...)
+	}
+
+	// In-memory fixture: 6 stores, 20k sales rows, fixed seed.
+	eng := sudaf.Open(sudaf.Options{Workers: 4, MaxConcurrentQueries: 4})
+	rng := rand.New(rand.NewSource(7))
+	store := sudaf.NewTable("store",
+		sudaf.NewColumn("s_store_sk", sudaf.Int),
+		sudaf.NewColumn("s_state", sudaf.String))
+	states := []string{"TN", "CA", "TN", "NY", "TN", "WA"}
+	for i, st := range states {
+		store.Col("s_store_sk").AppendInt(int64(i))
+		store.Col("s_state").AppendString(st)
+	}
+	sales := sudaf.NewTable("store_sales",
+		sudaf.NewColumn("ss_store_sk", sudaf.Int),
+		sudaf.NewColumn("ss_list_price", sudaf.Float),
+		sudaf.NewColumn("ss_sales_price", sudaf.Float))
+	for i := 0; i < 20000; i++ {
+		sales.Col("ss_store_sk").AppendInt(int64(rng.Intn(len(states))))
+		lp := 10 + rng.Float64()*90
+		sales.Col("ss_list_price").AppendFloat(lp)
+		sales.Col("ss_sales_price").AppendFloat(lp * (0.5 + rng.Float64()*0.5))
+	}
+	for _, t := range []*sudaf.Table{store, sales} {
+		if err := eng.Register(t); err != nil {
+			fail("register: %v", err)
+			return 1
+		}
+	}
+	baseline := runtime.NumGoroutine()
+
+	srv, err := server.New(server.Config{
+		Session: eng.Session(), MaxInflight: 4, QueueDepth: 8, MetricsLabel: "smoke-a"})
+	if err != nil {
+		fail("server.New: %v", err)
+		return 1
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		fail("Start: %v", err)
+		return 1
+	}
+	step("server up at %s", srv.Addr())
+
+	// Correctness over the wire: server result == direct engine result.
+	direct, err := eng.Query(smokeQuery, sudaf.Share)
+	if err != nil {
+		fail("direct query: %v", err)
+		return 1
+	}
+	c := client.New(srv.Addr(), client.Options{})
+	res, err := c.Query(context.Background(), smokeQuery, "share")
+	if err != nil {
+		fail("wire query: %v", err)
+		return 1
+	}
+	for i := 0; i < direct.Table.NumRows(); i++ {
+		for col := 1; col < 3; col++ {
+			got, want := res.Float(i, col), direct.Table.Cols[col].AsFloat(i)
+			if math.Abs(got-want) > 1e-9*math.Abs(want) {
+				fail("wire row %d col %d = %v, want %v", i, col, got, want)
+			}
+		}
+	}
+	step("wire result matches engine (%d groups)", res.End.Groups)
+
+	// Concurrent burst — queries and appends — with a forced drain in
+	// the middle. Every caller must land on a typed outcome and no
+	// accepted work may be lost.
+	const queryCallers, appendCallers = 16, 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[string]int{}
+	record := func(kind string) {
+		mu.Lock()
+		counts[kind]++
+		mu.Unlock()
+	}
+	classify := func(err error) string {
+		switch {
+		case err == nil:
+			return "ok"
+		case errors.Is(err, errs.ErrOverloaded):
+			return "shed"
+		case errors.Is(err, errs.ErrEngineClosed):
+			return "closed"
+		case errors.Is(err, errs.ErrCanceled):
+			return "canceled"
+		case errors.Is(err, client.ErrAmbiguous):
+			return "ambiguous"
+		case client.IsTransport(err):
+			// Dialed after the listener closed — never reached execution.
+			return "refused"
+		}
+		return "UNTYPED:" + err.Error()
+	}
+	burstBase := eng.Session().Stats().QueriesStarted
+	for i := 0; i < queryCallers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc := client.New(srv.Addr(), client.Options{Retries: -1})
+			mode := "share"
+			if i%3 == 0 {
+				mode = "rewrite"
+			}
+			_, err := cc.Query(context.Background(), smokeQuery, mode)
+			record("query:" + classify(err))
+		}(i)
+	}
+	for i := 0; i < appendCallers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc := client.New(srv.Addr(), client.Options{Retries: -1})
+			_, err := cc.Append(context.Background(), "store_sales", []server.ColumnData{
+				{Name: "ss_store_sk", Kind: "int", Ints: []int64{int64(i % 6)}},
+				{Name: "ss_list_price", Kind: "float", Floats: []float64{42}},
+				{Name: "ss_sales_price", Kind: "float", Floats: []float64{21}},
+			})
+			record("append:" + classify(err))
+		}(i)
+	}
+	// Drain only once the burst is genuinely in flight: wait for the
+	// engine to have accepted several burst queries (bounded, in case
+	// overload sheds everything first).
+	for waited := 0; waited < 100; waited++ {
+		if eng.Session().Stats().QueriesStarted >= burstBase+3 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	drainStart := time.Now()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fail("mid-burst Shutdown: %v", err)
+	}
+	wg.Wait()
+	step("forced drain in %s; outcomes: %v",
+		time.Since(drainStart).Round(time.Millisecond), counts)
+	total := 0
+	for kind, n := range counts {
+		total += n
+		if len(kind) > 7 && (kind[:7] == "query:U" || kind[:8] == "append:U") {
+			fail("untyped outcomes: %s x%d", kind, n)
+		}
+	}
+	if total != queryCallers+appendCallers {
+		fail("outcomes %d != callers %d", total, queryCallers+appendCallers)
+	}
+	// Zero lost accepted work: engine lifetime counters balance.
+	st := eng.Session().Stats()
+	if st.QueriesStarted != st.QueriesCompleted+st.QueriesFailed {
+		fail("engine stats unbalanced: started=%d completed=%d failed=%d",
+			st.QueriesStarted, st.QueriesCompleted, st.QueriesFailed)
+	}
+	if eng.Closed() {
+		fail("server Shutdown closed the engine")
+	}
+
+	// No leaked goroutines: settle back to the pre-server baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		fail("goroutine leak: %d after drain, baseline %d", n, baseline)
+	} else {
+		step("goroutines settled: %d (baseline %d)", n, baseline)
+	}
+
+	// Warm restart: a second front-end over the same engine serves the
+	// repeated share query as a full cache hit.
+	srv2, err := server.New(server.Config{Session: eng.Session(), MetricsLabel: "smoke-b"})
+	if err != nil {
+		fail("second server.New: %v", err)
+		return failures
+	}
+	if err := srv2.Start("127.0.0.1:0"); err != nil {
+		fail("second Start: %v", err)
+		return failures
+	}
+	c2 := client.New(srv2.Addr(), client.Options{})
+	res2, err := c2.Query(context.Background(), smokeQuery, "share")
+	if err != nil {
+		fail("query after front-end restart: %v", err)
+	} else if !res2.End.FullCacheHit && res2.End.Stats.CacheExactHits == 0 &&
+		res2.End.Stats.CacheSharedHits == 0 {
+		// Appends racing the drain may have invalidated or migrated
+		// cache entries; warm means *some* reuse, cold means none.
+		fail("restarted front-end shows no cache reuse: %+v", res2.End.Stats)
+	} else {
+		step("second front-end warm (fullHit=%v exact=%d shared=%d)",
+			res2.End.FullCacheHit, res2.End.Stats.CacheExactHits, res2.End.Stats.CacheSharedHits)
+	}
+	if err := srv2.Shutdown(drainCtx); err != nil {
+		fail("second Shutdown: %v", err)
+	}
+
+	// Engine drain: idempotent, typed rejections afterwards.
+	if err := eng.Close(drainCtx); err != nil {
+		fail("engine Close: %v", err)
+	}
+	if err := eng.Close(drainCtx); err != nil {
+		fail("second engine Close: %v", err)
+	}
+	if _, err := eng.Query(smokeQuery, sudaf.Share); !errors.Is(err, sudaf.ErrEngineClosed) {
+		fail("post-close query: got %v, want ErrEngineClosed", err)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "smoke: %d failure(s)\n", failures)
+		return 1
+	}
+	step("all checks passed")
+	return 0
+}

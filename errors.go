@@ -26,4 +26,16 @@ var (
 	// error stays wrapped, so errors.Is(err, context.Canceled) and
 	// errors.Is(err, context.DeadlineExceeded) keep working too.
 	ErrCanceled = errs.ErrCanceled
+	// ErrEngineClosed reports work rejected because Engine.Close was
+	// called: new queries, appends and materializations fail with it, and
+	// callers queued for an admission slot when the close began resolve
+	// with it instead of hanging. Work admitted before the close runs to
+	// completion and never sees this error.
+	ErrEngineClosed = errs.ErrEngineClosed
+	// ErrOverloaded reports a request shed by the network serving layer
+	// (internal/server): the bounded admission queue, a per-session
+	// concurrency cap, or the session table was full. Shedding happens
+	// before any execution, so overloaded requests are always safe to
+	// retry after backoff.
+	ErrOverloaded = errs.ErrOverloaded
 )

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sudaf/internal/storage"
+)
+
+// appendCSVSession is a session with one tiny registered table m(k:int,
+// v:float) holding two seed rows.
+func appendCSVSession(t *testing.T) *Session {
+	t.Helper()
+	s := NewSession(Options{Workers: 1})
+	m := storage.NewTable("m",
+		storage.NewColumn("k", storage.KindInt),
+		storage.NewColumn("v", storage.KindFloat))
+	m.Col("k").AppendInt(1)
+	m.Col("v").AppendFloat(10)
+	m.Col("k").AppendInt(2)
+	m.Col("v").AppendFloat(20)
+	if err := s.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sumV(t *testing.T, s *Session) float64 {
+	t.Helper()
+	res, err := s.Query("SELECT sum(v) FROM m", ModeRewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Table.Cols[0].AsFloat(0)
+}
+
+// TestAppendCSVSkipsBadRows: a corrupt row in the middle of a CSV delta
+// no longer fails the whole batch — the good rows are ingested and the
+// skip is reported via AppendResult.Events, matching the skip-bad-rows
+// policy the initial CSV load path has had since PR 1.
+func TestAppendCSVSkipsBadRows(t *testing.T) {
+	s := appendCSVSession(t)
+	path := filepath.Join(t.TempDir(), "delta.csv")
+	csv := "k:int,v:float\n" +
+		"3,30\n" +
+		"4,notanumber\n" + // unparsable float mid-file
+		"5\n" + // wrong field count
+		"6,60\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.AppendCSV(context.Background(), "m", path)
+	if err != nil {
+		t.Fatalf("AppendCSV must skip bad rows, not fail: %v", err)
+	}
+	if res.RowsAppended != 2 {
+		t.Errorf("RowsAppended = %d, want 2", res.RowsAppended)
+	}
+	found := false
+	for _, ev := range res.Events {
+		if strings.Contains(ev, "skipped 2 malformed CSV row(s)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Events missing skipped-rows note: %v", res.Events)
+	}
+	if got, want := sumV(t, s), 10.0+20+30+60; got != want {
+		t.Errorf("sum(v) after append = %v, want %v", got, want)
+	}
+}
+
+// TestAppendCSVWithStrict: the explicit strict policy still rejects the
+// whole delta on the first malformed row, ingesting nothing.
+func TestAppendCSVWithStrict(t *testing.T) {
+	s := appendCSVSession(t)
+	path := filepath.Join(t.TempDir(), "delta.csv")
+	csv := "k:int,v:float\n3,30\n4,notanumber\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendCSVWith(context.Background(), "m", path, storage.CSVOptions{}); err == nil {
+		t.Fatal("strict AppendCSVWith must fail on a malformed row")
+	}
+	if got, want := sumV(t, s), 30.0; got != want {
+		t.Errorf("strict failure must ingest nothing: sum(v) = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,124 @@
+// Session lifecycle: graceful drain. Close flips the session into the
+// closed state and waits for in-flight work to finish, so a serving
+// layer can stop a node without abandoning accepted queries or leaking
+// worker tokens. The contract, relied on by internal/server:
+//
+//   - Work started before Close (queries, streaming-cursor queries,
+//     appends, materializations) runs to completion; Close waits for it
+//     (bounded by the caller's context).
+//   - Work arriving after Close begins fails fast with a typed
+//     ErrEngineClosed.
+//   - Callers queued for an admission slot when Close begins resolve
+//     deterministically: they either win a slot (their query is treated
+//     as accepted and runs), observe the close (ErrEngineClosed), or
+//     observe their own context (ErrCanceled) — never a hang.
+//   - The state cache is left intact: Close drains execution, it does
+//     not destroy state, so a new serving front-end over the same
+//     process image (or a restart that re-opens the session's tables)
+//     still benefits from warm sharing.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sudaf/internal/errs"
+)
+
+// lifecycle tracks the session's open/closed state and its in-flight
+// operations. The RWMutex makes the pair {closed check, inflight add}
+// in beginOp atomic with respect to Close's state flip, so Close never
+// misses an operation and never waits for one it rejected.
+type lifecycle struct {
+	mu       sync.RWMutex
+	closed   bool
+	inflight sync.WaitGroup
+	// ch is closed when Close begins; admission waiters select on it so
+	// a queued query resolves instead of waiting for a slot that may
+	// never free.
+	ch chan struct{}
+	// closeStart is when the first Close began (UnixNano); drainNanos is
+	// set once, by whichever Close call observes the drain complete, to
+	// the elapsed time since closeStart.
+	closeStart atomic.Int64
+	drainNanos atomic.Int64
+}
+
+// beginOp admits one operation (query, append, materialization). It
+// fails with ErrEngineClosed once Close has begun; otherwise the
+// operation is tracked until the paired endOp.
+func (s *Session) beginOp(what string) error {
+	s.life.mu.RLock()
+	defer s.life.mu.RUnlock()
+	if s.life.closed {
+		return fmt.Errorf("%w: %s rejected", errs.ErrEngineClosed, what)
+	}
+	s.life.inflight.Add(1)
+	return nil
+}
+
+// endOp retires an operation admitted by beginOp.
+func (s *Session) endOp() { s.life.inflight.Done() }
+
+// closedCh returns the channel closed when Close begins (admission
+// waiters select on it).
+func (s *Session) closedCh() <-chan struct{} { return s.life.ch }
+
+// Closed reports whether Close has begun.
+func (s *Session) Closed() bool {
+	s.life.mu.RLock()
+	defer s.life.mu.RUnlock()
+	return s.life.closed
+}
+
+// DrainDuration returns how long the completed drain took (0 until the
+// first Close finishes waiting). Exported to the metrics registry as
+// sudaf_engine_drain_seconds.
+func (s *Session) DrainDuration() time.Duration {
+	return time.Duration(s.life.drainNanos.Load())
+}
+
+// Close stops the session accepting work and drains it: new operations
+// fail with ErrEngineClosed, queued admission waiters resolve, and Close
+// waits until every in-flight query, streaming-cursor query, append and
+// materialization has finished — or ctx expires, in which case Close
+// returns the context error (wrapped) while the stragglers keep
+// honoring their own contexts and deadlines.
+//
+// Close is idempotent and safe to call from several goroutines: every
+// call waits for the drain. It never interrupts admitted work — pair it
+// with per-query contexts or QueryTimeout when a hard stop is needed.
+func (s *Session) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.life.mu.Lock()
+	first := !s.life.closed
+	s.life.closed = true
+	s.life.mu.Unlock()
+	if first {
+		s.life.closeStart.Store(time.Now().UnixNano())
+		close(s.life.ch)
+	}
+	done := make(chan struct{})
+	go func() {
+		// This goroutine outlives an expired ctx only until the last
+		// in-flight operation retires — each one is bounded by its own
+		// context/timeout, so it cannot leak indefinitely.
+		s.life.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		// Whichever call sees the drain finish stamps its duration,
+		// measured from when the close began.
+		s.life.drainNanos.CompareAndSwap(0,
+			time.Now().UnixNano()-s.life.closeStart.Load())
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("engine close: drain incomplete: %w", ctx.Err())
+	}
+}

@@ -212,6 +212,10 @@ type Session struct {
 	// admit is the admission-control semaphore (nil = unlimited).
 	admit chan struct{}
 
+	// life tracks the closed/draining state and in-flight operations;
+	// see close.go for the drain contract.
+	life lifecycle
+
 	queryTimeout time.Duration
 	numeric      NumericPolicy
 
@@ -271,6 +275,7 @@ func NewSession(opts Options) *Session {
 	if s.metrics == nil {
 		s.metrics = obs.NewRegistry()
 	}
+	s.life.ch = make(chan struct{})
 	s.cache.Store(cache.NewSharded(opts.CacheBytes, opts.CacheShards, space))
 	s.viewRewriting.Store(!opts.DisableViews)
 	if opts.MaxConcurrentQueries > 0 {

@@ -81,7 +81,7 @@ type AppendResult struct {
 	EntriesInvalidated int
 	// ViewsMaintained / ViewsInvalidated count materialized views
 	// delta-folded vs dropped.
-	ViewsMaintained int
+	ViewsMaintained  int
 	ViewsInvalidated int
 	// Events lists the degradation events (one per invalidation); the
 	// same events are also queued on the cache and surface in the next
@@ -116,6 +116,13 @@ func (s *Session) Append(ctx context.Context, table string, delta *storage.Table
 			err = fmt.Errorf("append to %s panicked (recovered): %v", table, r)
 		}
 	}()
+	// Lifecycle gate: a closed (draining) session rejects new appends;
+	// admitted ones are tracked so Close waits for the maintenance pass
+	// and the version publish to finish.
+	if err := s.beginOp("append"); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 
@@ -263,13 +270,34 @@ func (s *Session) noteAppend(res *AppendResult) {
 }
 
 // AppendCSV ingests a CSV batch (WriteCSV's typed-header format) into a
-// registered table through Append.
+// registered table through Append. It honors the same skip-bad-rows
+// policy as the initial CSV load path: malformed rows (wrong field
+// count, unparsable values) are skipped and reported in
+// AppendResult.Events instead of failing the whole delta. Use
+// AppendCSVWith for strict all-or-nothing ingestion.
 func (s *Session) AppendCSV(ctx context.Context, table, path string) (*AppendResult, error) {
-	delta, err := storage.LoadCSVFile(table, path)
+	return s.AppendCSVWith(ctx, table, path, storage.CSVOptions{SkipBadRows: true})
+}
+
+// AppendCSVWith ingests a CSV batch with explicit malformed-row
+// handling: with SkipBadRows set, bad rows are skipped, counted and
+// surfaced as an AppendResult.Events note; without it, the first bad
+// row fails the whole delta with a line-numbered error and nothing is
+// ingested.
+func (s *Session) AppendCSVWith(ctx context.Context, table, path string, opts storage.CSVOptions) (*AppendResult, error) {
+	delta, skipped, err := storage.LoadCSVFileWith(table, path, opts)
 	if err != nil {
 		return nil, err
 	}
-	return s.Append(ctx, table, delta)
+	res, err := s.Append(ctx, table, delta)
+	if err != nil {
+		return nil, err
+	}
+	if skipped > 0 {
+		res.Events = append(res.Events,
+			fmt.Sprintf("ingest: %s: skipped %d malformed CSV row(s); %d row(s) ingested", table, skipped, res.RowsAppended))
+	}
+	return res, nil
 }
 
 // recCurrent reports whether a maintenance record matches the data this

@@ -16,6 +16,7 @@ import (
 //	sudaf_rows_scanned_total
 //	sudaf_query_seconds_total, sudaf_queue_wait_seconds_total
 //	sudaf_query_duration_seconds            (histogram)
+//	sudaf_engine_drain_seconds
 //	sudaf_cache_lookups_total, sudaf_cache_hits_total{kind=...},
 //	sudaf_cache_misses_total, sudaf_cache_evictions_total,
 //	sudaf_cache_corruptions_total
@@ -56,6 +57,9 @@ func (s *Session) registerMetrics(label string) {
 		func() float64 { return float64(s.queueNanos.Load()) / 1e9 })
 	s.queryHist = r.Histogram("sudaf_query_duration_seconds", lbl,
 		"Per-query wall time distribution in seconds.", nil)
+	r.GaugeFunc("sudaf_engine_drain_seconds", lbl,
+		"How long the completed Close drain took (0 until the engine is closed).",
+		func() float64 { return s.DrainDuration().Seconds() })
 
 	// State cache. Readers go through the current cache snapshot, so a
 	// ClearCache resets these series along with the cache itself.

@@ -110,9 +110,18 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Lifecycle gate: a closed (draining) session rejects new queries
+	// with the typed sentinel; admitted queries are tracked so Close can
+	// wait for them.
+	if err := s.beginOp("query"); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
 	// Admission control: bound the queries executing at once so the
 	// morsel scheduler isn't oversubscribed. Queued callers stay
-	// cancelable.
+	// cancelable, and resolve deterministically when the session closes
+	// mid-wait: a slot (the query is accepted and runs under the drain),
+	// their own context (ErrCanceled), or the close (ErrEngineClosed).
 	var queued time.Duration
 	if s.admit != nil {
 		select {
@@ -125,6 +134,8 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 				s.queueNanos.Add(int64(queued))
 			case <-ctx.Done():
 				return nil, fmt.Errorf("%w: %w", errs.ErrCanceled, ctx.Err())
+			case <-s.closedCh():
+				return nil, fmt.Errorf("%w: engine closed while queued for admission", errs.ErrEngineClosed)
 			}
 		}
 		defer func() { <-s.admit }()

@@ -19,6 +19,10 @@ import (
 // the subquery of RQ1). The view's states are also inserted into the
 // state cache, and the view becomes a roll-up rewriting candidate.
 func (s *Session) Materialize(name, sql string) error {
+	if err := s.beginOp("materialize"); err != nil {
+		return err
+	}
+	defer s.endOp()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return err

@@ -23,4 +23,14 @@ var (
 	// deadline. Errors wrapping it also wrap the originating context
 	// error, so errors.Is(err, context.Canceled) keeps working.
 	ErrCanceled = errors.New("query canceled")
+	// ErrEngineClosed marks work rejected because the engine is closed or
+	// draining: Close stops admitting queries, appends and
+	// materializations, and resolves queued admission waiters with this
+	// sentinel.
+	ErrEngineClosed = errors.New("engine closed")
+	// ErrOverloaded marks a request shed by the serving layer's overload
+	// protection: the admission queue, a per-session concurrency cap or
+	// the session table was full. Overloaded requests were rejected
+	// before execution, so retrying after backoff is always safe.
+	ErrOverloaded = errors.New("server overloaded")
 )

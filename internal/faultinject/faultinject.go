@@ -57,11 +57,30 @@ const (
 	PointExecWorker = "exec.worker"
 	// PointExecJoin fires at the start of each hash join.
 	PointExecJoin = "exec.join"
+	// PointNetAccept fires in the server's connection-accept path: an
+	// error tears the just-accepted connection down, a delay stalls the
+	// accept loop.
+	PointNetAccept = "net.accept"
+	// PointNetRead fires on every server-side connection read: an error
+	// models a torn client connection mid-request, a delay a slow
+	// (stalling) client.
+	PointNetRead = "net.read"
+	// PointNetWrite fires on every server-side connection write: an
+	// error models a client that disconnected mid-response, a delay a
+	// congested downlink.
+	PointNetWrite = "net.write"
+	// PointNetStall fires before each streamed result frame is written:
+	// an error truncates the stream (a torn response the client must
+	// detect via length framing), a delay stalls it mid-stream.
+	PointNetStall = "net.stall"
 )
 
 // Points lists every registered fault point.
 func Points() []string {
-	return []string{PointStorageScan, PointCacheGet, PointExecWorker, PointExecJoin}
+	return []string{
+		PointStorageScan, PointCacheGet, PointExecWorker, PointExecJoin,
+		PointNetAccept, PointNetRead, PointNetWrite, PointNetStall,
+	}
 }
 
 // ErrInjected is the sentinel wrapped by injected errors.

@@ -1,0 +1,98 @@
+// Network chaos surface: the listener and connections the server hands
+// to net/http are wrapped so the faultinject net.* points fire on real
+// I/O paths. With injection disabled every wrapper costs one atomic
+// load per call — the same contract as the engine-side points.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"sudaf/internal/faultinject"
+)
+
+// hitNet fires a net.* fault point, converting an injected panic into
+// an error: the network has no way to deliver a panic, so at this layer
+// every fault kind degrades to a torn connection. (The accept loop and
+// net/http's background connection reader run outside any recover —
+// letting a panic through would crash the process, which is exactly the
+// failure class this server exists to rule out.)
+func hitNet(point string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", faultinject.ErrInjected, r)
+		}
+	}()
+	return faultinject.Hit(point)
+}
+
+// chaosListener wraps the server's TCP listener: it enforces the
+// connection cap and fires PointNetAccept on every accept. An injected
+// accept error tears the just-accepted connection down and keeps
+// serving — a flaky accept path must never take the whole server out
+// (returning a non-temporary error from Accept stops http.Server.Serve
+// for good).
+type chaosListener struct {
+	net.Listener
+	srv *Server
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			// Real listener errors (including close-on-shutdown) propagate.
+			return nil, err
+		}
+		if err := hitNet(faultinject.PointNetAccept); err != nil {
+			// Chaos: the connection dies at the threshold. From the client's
+			// side this is indistinguishable from a network flake.
+			c.Close()
+			continue
+		}
+		if max := l.srv.cfg.MaxConns; max > 0 {
+			if l.srv.connsOpen.Load() >= int64(max) {
+				// Over the connection cap: refuse at the socket level. The
+				// client sees a reset rather than a queued, starving request.
+				c.Close()
+				l.srv.shedConns.Add(1)
+				continue
+			}
+		}
+		l.srv.connsOpen.Add(1)
+		return &chaosConn{Conn: c, open: &l.srv.connsOpen}, nil
+	}
+}
+
+// chaosConn wraps an accepted connection: reads and writes pass through
+// PointNetRead / PointNetWrite, and the open-connection gauge is
+// released exactly once on close.
+type chaosConn struct {
+	net.Conn
+	open   *atomic.Int64
+	closed atomic.Bool
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	if err := hitNet(faultinject.PointNetRead); err != nil {
+		c.Conn.Close()
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	if err := hitNet(faultinject.PointNetWrite); err != nil {
+		c.Conn.Close()
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *chaosConn) Close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		c.open.Add(-1)
+	}
+	return c.Conn.Close()
+}

@@ -1,0 +1,255 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"sudaf/internal/core"
+	"sudaf/internal/faultinject"
+	"sudaf/internal/server"
+	"sudaf/internal/server/client"
+)
+
+// TestTornStreamDetectedAndRetried: an injected truncation mid-stream
+// is detected by the client via length framing and the (read-only)
+// query is retried to success.
+func TestTornStreamDetectedAndRetried(t *testing.T) {
+	defer faultinject.Reset()
+	eng := newEngine(t, 2000, core.Options{})
+	srv := startServer(t, server.Config{Session: eng, BatchRows: 1})
+
+	// After the schema frame, the first batch write tears the stream.
+	faultinject.Arm(faultinject.PointNetStall, faultinject.Spec{
+		Kind: faultinject.KindError, After: 1, Times: 1})
+	var slept int
+	c := client.New(srv.Addr(), client.Options{
+		Sleep: func(context.Context, time.Duration) { slept++ },
+	})
+	res, err := c.Query(context.Background(), testQuery, "rewrite")
+	if err != nil {
+		t.Fatalf("retried torn stream must succeed: %v", err)
+	}
+	if len(res.Rows) != 4 || res.End == nil {
+		t.Fatalf("result incomplete after retry: %d rows", len(res.Rows))
+	}
+	if slept == 0 {
+		t.Error("no backoff recorded — the tear was never hit")
+	}
+	if faultinject.Fired(faultinject.PointNetStall) != 1 {
+		t.Errorf("stall point fired %d times, want 1", faultinject.Fired(faultinject.PointNetStall))
+	}
+}
+
+// TestTornStreamNoRetryIsTyped: with retries off, the tear surfaces as
+// ErrTornStream — never as a half-parsed result.
+func TestTornStreamNoRetryIsTyped(t *testing.T) {
+	defer faultinject.Reset()
+	eng := newEngine(t, 2000, core.Options{})
+	srv := startServer(t, server.Config{Session: eng, BatchRows: 1})
+	faultinject.Arm(faultinject.PointNetStall, faultinject.Spec{
+		Kind: faultinject.KindError, After: 2, Times: 1})
+	c := client.New(srv.Addr(), client.Options{Retries: -1})
+	if _, err := c.Query(context.Background(), testQuery, "rewrite"); !errors.Is(err, server.ErrTornStream) {
+		t.Fatalf("got %v, want ErrTornStream", err)
+	}
+}
+
+// TestTornConnectionRead: an injected read fault kills the connection
+// mid-request; the client's transport error is retried and the server
+// keeps serving.
+func TestTornConnectionRead(t *testing.T) {
+	defer faultinject.Reset()
+	eng := newEngine(t, 1000, core.Options{})
+	srv := startServer(t, server.Config{Session: eng})
+	faultinject.Arm(faultinject.PointNetRead, faultinject.Spec{
+		Kind: faultinject.KindError, Times: 1})
+	c := client.New(srv.Addr(), client.Options{
+		Sleep: func(context.Context, time.Duration) {},
+	})
+	if _, err := c.Query(context.Background(), testQuery, "rewrite"); err != nil {
+		t.Fatalf("query through a flaky read path: %v", err)
+	}
+}
+
+// TestAcceptFaults: flaky accepts tear connections at the threshold
+// without taking the accept loop down.
+func TestAcceptFaults(t *testing.T) {
+	defer faultinject.Reset()
+	eng := newEngine(t, 1000, core.Options{})
+	srv := startServer(t, server.Config{Session: eng})
+	faultinject.Arm(faultinject.PointNetAccept, faultinject.Spec{
+		Kind: faultinject.KindError, Times: 2})
+	c := client.New(srv.Addr(), client.Options{
+		Sleep: func(context.Context, time.Duration) {},
+	})
+	if _, err := c.Query(context.Background(), testQuery, "rewrite"); err != nil {
+		t.Fatalf("query through a flaky accept path: %v", err)
+	}
+	if fired := faultinject.Fired(faultinject.PointNetAccept); fired == 0 {
+		t.Error("accept fault never fired — test proved nothing")
+	}
+}
+
+// TestStallDuringDrainNeverWedges: a response stalling frame-by-frame
+// while the server drains must finish (it is accepted work), the drain
+// must complete, and the engine must come out untouched.
+func TestStallDuringDrainNeverWedges(t *testing.T) {
+	defer faultinject.Reset()
+	eng := newEngine(t, 2000, core.Options{})
+	srv := startServer(t, server.Config{Session: eng, BatchRows: 1})
+
+	faultinject.Arm(faultinject.PointNetStall, faultinject.Spec{
+		Kind: faultinject.KindDelay, Delay: 20 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() {
+		c := client.New(srv.Addr(), client.Options{Retries: -1})
+		_, err := c.Query(context.Background(), testQuery, "rewrite")
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // the stream is now mid-stall
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain wedged behind a stalled stream: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("stalled stream must complete under drain: %v", err)
+	}
+	// Engine state: untouched, no leaked tokens, cache intact.
+	st := eng.Stats()
+	if st.QueriesStarted != st.QueriesCompleted+st.QueriesFailed {
+		t.Errorf("engine stats unbalanced: %+v", st)
+	}
+	if _, err := eng.Query(testQuery, core.ModeShare); err != nil {
+		t.Fatalf("engine after drained server: %v", err)
+	}
+}
+
+// TestMidStreamClientDisconnect: a client vanishing mid-response (raw
+// socket close) must not wedge the server, leak its slot, or corrupt
+// the engine.
+func TestMidStreamClientDisconnect(t *testing.T) {
+	defer faultinject.Reset()
+	eng := newEngine(t, 4000, core.Options{})
+	srv := startServer(t, server.Config{Session: eng, BatchRows: 1, MetricsLabel: "chaos-disc"})
+
+	// Slow the stream so the disconnect happens mid-response.
+	faultinject.Arm(faultinject.PointNetStall, faultinject.Spec{
+		Kind: faultinject.KindDelay, Delay: 10 * time.Millisecond})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"sql":` + jsonString(testQuery) + `,"mode":"rewrite"}`
+	fmt.Fprintf(conn, "POST /v1/query HTTP/1.1\r\nHost: sudaf\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+	// Read just the status line, then walk away mid-stream.
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	conn.Close()
+
+	faultinject.Reset()
+	// The server recovers: the abandoned handler unwinds, its slot frees,
+	// and new clients are served.
+	c := client.New(srv.Addr(), client.Options{})
+	if _, err := c.Query(context.Background(), testQuery, "rewrite"); err != nil {
+		t.Fatalf("query after mid-stream disconnect: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain after mid-stream disconnect: %v", err)
+	}
+	st := eng.Stats()
+	if st.QueriesStarted != st.QueriesCompleted+st.QueriesFailed {
+		t.Errorf("engine stats unbalanced after disconnect: %+v", st)
+	}
+}
+
+// TestSharingAcrossReconnects: the state cache is a property of the
+// engine, not the connection — a brand-new client over a brand-new
+// connection gets the full-cache-hit answer for a repeated query.
+func TestSharingAcrossReconnects(t *testing.T) {
+	eng := newEngine(t, 4000, core.Options{})
+	srv := startServer(t, server.Config{Session: eng})
+	ctx := context.Background()
+
+	warm := client.New(srv.Addr(), client.Options{})
+	if _, err := warm.Query(ctx, testQuery, "share"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := client.New(srv.Addr(), client.Options{})
+	res, err := fresh.Query(ctx, testQuery, "share")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.End.FullCacheHit {
+		t.Error("repeated share query over a new connection must be a full cache hit")
+	}
+	// And a *related* query shares states (Theorem 4.1), visible as
+	// shared/sign hits rather than a cold run.
+	res2, err := fresh.Query(ctx,
+		`SELECT s_state, avg(ss_list_price) FROM store_sales, store
+		 WHERE ss_store_sk = s_store_sk GROUP BY s_state`, "share")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := res2.End.Stats
+	if stats == nil || stats.CacheExactHits+stats.CacheSharedHits+stats.CacheSignHits == 0 {
+		t.Errorf("related query shows no sharing over the wire: %+v", stats)
+	}
+}
+
+// TestChaosSeedsServing sweeps deterministic seeds, each arming one
+// random fault point (engine or network), while a retrying client runs
+// queries. Whatever the fault, the outcome is a result or a clean
+// error; afterwards the server drains and the engine still answers.
+func TestChaosSeedsServing(t *testing.T) {
+	eng := newEngine(t, 2000, core.Options{})
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			defer faultinject.Reset()
+			srv := startServer(t, server.Config{Session: eng, MetricsLabel: fmt.Sprintf("seed%d", seed)})
+			point, spec := faultinject.PlanFromSeed(seed)
+			t.Logf("seed %d: %s %v after=%d", seed, point, spec.Kind, spec.After)
+
+			c := client.New(srv.Addr(), client.Options{
+				Retries: 2,
+				Sleep:   func(context.Context, time.Duration) {},
+			})
+			for i := 0; i < 3; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, err := c.Query(ctx, testQuery, "share")
+				cancel()
+				if err != nil && strings.Contains(err.Error(), "panic") &&
+					!strings.Contains(err.Error(), "recovered") {
+					t.Errorf("query %d surfaced an unrecovered panic: %v", i, err)
+				}
+				// Any other error is acceptable — it must just be an error,
+				// not a hang, crash, or wrong shape.
+			}
+			faultinject.Reset()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Fatalf("drain after chaos: %v", err)
+			}
+			if _, err := eng.Query(testQuery, core.ModeShare); err != nil {
+				t.Fatalf("engine corrupted by serving chaos: %v", err)
+			}
+		})
+	}
+	st := eng.Stats()
+	if st.QueriesStarted != st.QueriesCompleted+st.QueriesFailed {
+		t.Errorf("engine stats unbalanced after chaos sweep: %+v", st)
+	}
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at every wire decoder the server
+// exposes to the network: the framed-stream reader (length prefixes,
+// truncation, oversized declarations) and the three request-body
+// decoders. The only acceptable outcomes are a value or an error —
+// never a panic, and never an allocation driven by a declared length
+// the bytes can't back (ReadFrame's bound is checked before the body
+// is read). Wired into CI's fuzz-smoke job.
+func FuzzDecode(f *testing.F) {
+	// Well-formed seeds, one per decoder...
+	f.Add([]byte(`{"type":"schema","columns":[{"name":"s","kind":"string"}]}`))
+	f.Add([]byte(`{"type":"batch","rows":[["TN",1.5,"NaN"],[2,3,"+Inf"]]}`))
+	f.Add([]byte(`{"type":"end","groups":4,"stats":{"wallMicros":12,"rowsScanned":100}}`))
+	f.Add([]byte(`{"type":"error","code":"overloaded","error":"queue full"}`))
+	f.Add([]byte(`{"sql":"SELECT avg(x) FROM t","mode":"share","batchRows":2}`))
+	f.Add([]byte(`{"prepared":"p1","session":"s1"}`))
+	f.Add([]byte(`{"session":"s1","sql":"SELECT qm(x) FROM t","mode":"baseline"}`))
+	f.Add([]byte(`{"table":"t","columns":[{"name":"x","kind":"float","floats":[1,2]},{"name":"k","kind":"int","ints":[3,4]}]}`))
+	// ...and framed streams: valid, torn, lying lengths, oversized.
+	f.Add([]byte("25 {\"type\":\"end\",\"groups\":4}\n"))
+	f.Add([]byte("25 {\"type\":\"end\",\"gro"))
+	f.Add([]byte("3 {}\n"))
+	f.Add([]byte("999999999 {}\n"))
+	f.Add([]byte("1x {}\n"))
+	f.Add([]byte(" "))
+	f.Add([]byte("18 {\"type\":\"schema\"}\n18 {\"type\":\"schema\"}\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		DecodeFrame(data)          //nolint:errcheck
+		DecodeQueryRequest(data)   //nolint:errcheck
+		DecodePrepareRequest(data) //nolint:errcheck
+		if a, err := DecodeAppendRequest(data); err == nil {
+			// A decodable append must also materialize consistently.
+			if _, err := a.ToTable(); err != nil {
+				t.Fatalf("DecodeAppendRequest accepted what ToTable rejects: %v", err)
+			}
+		}
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ { // bounded: a stream is many frames
+			if _, err := ReadFrame(br, 1<<16); err != nil {
+				break
+			}
+		}
+		ModeFromString(string(data))
+	})
+}

@@ -1,0 +1,81 @@
+package server_test
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sudaf/internal/core"
+	"sudaf/internal/server"
+	"sudaf/internal/storage"
+)
+
+// testQuery joins the fixture tables through two UDAF-bearing
+// aggregations, so share-mode runs exercise the state cache.
+const testQuery = `SELECT s_state, qm(ss_list_price), avg(ss_sales_price)
+	FROM store_sales, store WHERE ss_store_sk = s_store_sk
+	GROUP BY s_state ORDER BY s_state`
+
+// newEngine builds a session over a small store/store_sales fixture.
+func newEngine(t *testing.T, rows int, opts core.Options) *core.Session {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	s := core.NewSession(opts)
+	rng := rand.New(rand.NewSource(2026))
+
+	const nStores = 6
+	storeT := storage.NewTable("store",
+		storage.NewColumn("s_store_sk", storage.KindInt),
+		storage.NewColumn("s_state", storage.KindString))
+	states := []string{"TN", "CA", "TN", "NY", "TN", "WA"}
+	for i := 0; i < nStores; i++ {
+		storeT.Col("s_store_sk").AppendInt(int64(i))
+		storeT.Col("s_state").AppendString(states[i])
+	}
+	sales := storage.NewTable("store_sales",
+		storage.NewColumn("ss_store_sk", storage.KindInt),
+		storage.NewColumn("ss_list_price", storage.KindFloat),
+		storage.NewColumn("ss_sales_price", storage.KindFloat))
+	for i := 0; i < rows; i++ {
+		sales.Col("ss_store_sk").AppendInt(int64(rng.Intn(nStores)))
+		lp := 10 + rng.Float64()*90
+		sales.Col("ss_list_price").AppendFloat(lp)
+		sales.Col("ss_sales_price").AppendFloat(lp * (0.5 + rng.Float64()*0.5))
+	}
+	for _, tbl := range []*storage.Table{storeT, sales} {
+		if err := s.Register(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+var serverSeq atomic.Int64
+
+// startServer builds and starts a server on a free port, shut down at
+// test cleanup. Each server gets a distinct metrics label so several
+// servers in one test never collide in a shared registry.
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	if cfg.MetricsLabel == "" {
+		cfg.MetricsLabel = "t" + time.Now().Format("150405") + "-" +
+			string(rune('a'+serverSeq.Add(1)%26))
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best-effort cleanup
+	})
+	return srv
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"fmt"
+
+	"sudaf/internal/obs"
+)
+
+// registerMetrics installs the serving-layer families into the metrics
+// registry alongside the engine's own. Like the engine families, every
+// sample is reader-backed: the request path bumps only atomics and
+// scrape time pays the reads.
+//
+// The exported families (all documented in docs/SERVING.md):
+//
+//	sudaf_server_requests_total{kind=...}
+//	sudaf_server_shed_total{reason=...}
+//	sudaf_server_inflight, sudaf_server_queue_depth
+//	sudaf_server_sessions_open, sudaf_server_sessions_opened_total
+//	sudaf_server_connections_open
+//	sudaf_server_drain_seconds
+func (s *Server) registerMetrics(r *obs.Registry, label string) {
+	lbl := ""
+	if label != "" {
+		lbl = fmt.Sprintf("server=%q", label)
+	}
+	with := func(key, val string) string {
+		pair := fmt.Sprintf("%s=%q", key, val)
+		if lbl == "" {
+			return pair
+		}
+		return lbl + "," + pair
+	}
+
+	r.CounterFunc("sudaf_server_requests_total", with("kind", "query"),
+		"Requests accepted for execution, by kind.", s.queryReqs.Load)
+	r.CounterFunc("sudaf_server_requests_total", with("kind", "append"),
+		"Requests accepted for execution, by kind.", s.appendReqs.Load)
+	r.CounterFunc("sudaf_server_shed_total", with("reason", "queue_full"),
+		"Requests shed before execution, by reason: global queue full, per-session cap, server draining.",
+		s.shedQueue.Load)
+	r.CounterFunc("sudaf_server_shed_total", with("reason", "session_cap"),
+		"Requests shed before execution, by reason: global queue full, per-session cap, server draining.",
+		s.shedSession.Load)
+	r.CounterFunc("sudaf_server_shed_total", with("reason", "draining"),
+		"Requests shed before execution, by reason: global queue full, per-session cap, server draining.",
+		s.shedDraining.Load)
+	r.GaugeFunc("sudaf_server_inflight", lbl,
+		"Requests currently executing (holding a global slot).",
+		func() float64 { return float64(s.inflightN.Load()) })
+	r.GaugeFunc("sudaf_server_queue_depth", lbl,
+		"Requests waiting for a global slot right now.",
+		func() float64 { return float64(s.queued.Load()) })
+	r.GaugeFunc("sudaf_server_sessions_open", lbl,
+		"Client sessions currently open.",
+		func() float64 { return float64(s.sessions.numOpen()) })
+	r.CounterFunc("sudaf_server_sessions_opened_total", lbl,
+		"Client sessions opened over the server's lifetime.",
+		s.sessions.opened.Load)
+	r.GaugeFunc("sudaf_server_connections_open", lbl,
+		"TCP connections currently open (0 until the chaos listener is serving).",
+		func() float64 { return float64(s.connsOpen.Load()) })
+	r.GaugeFunc("sudaf_server_drain_seconds", lbl,
+		"How long the completed server Shutdown drain took (0 until shut down).",
+		func() float64 { return float64(s.drainNanos.Load()) / 1e9 })
+}

@@ -317,10 +317,33 @@ func (e *Engine) Append(ctx context.Context, table string, delta *Table) (*Appen
 
 // AppendCSV ingests a CSV batch (typed header "name:kind" per field, the
 // format written by Table.SaveCSVFile) into a registered table; see
-// Append for the maintenance and snapshot semantics.
+// Append for the maintenance and snapshot semantics. Malformed rows are
+// skipped — the same skip-bad-rows policy LoadCSVWith offers at initial
+// load — and reported via AppendResult.Events instead of failing the
+// whole delta; use AppendCSVWith for strict all-or-nothing ingestion.
 func (e *Engine) AppendCSV(ctx context.Context, table, path string) (*AppendResult, error) {
 	return e.s.AppendCSV(ctx, table, path)
 }
+
+// AppendCSVWith ingests a CSV batch with explicit malformed-row
+// handling: with SkipBadRows set, bad rows are skipped and surfaced as
+// an AppendResult.Events note; without it, the first bad row fails the
+// whole delta and nothing is ingested.
+func (e *Engine) AppendCSVWith(ctx context.Context, table, path string, opts CSVOptions) (*AppendResult, error) {
+	return e.s.AppendCSVWith(ctx, table, path, opts)
+}
+
+// Close gracefully drains the engine: new queries, appends and
+// materializations fail with ErrEngineClosed, callers queued for an
+// admission slot resolve deterministically (slot, ErrCanceled or
+// ErrEngineClosed), and Close waits until all in-flight work finishes
+// or ctx expires (returning the wrapped context error; stragglers still
+// honor their own contexts). Close is idempotent, never interrupts
+// admitted work, and leaves the state cache intact.
+func (e *Engine) Close(ctx context.Context) error { return e.s.Close(ctx) }
+
+// Closed reports whether Engine.Close has begun.
+func (e *Engine) Closed() bool { return e.s.Closed() }
 
 // SetQueryTimeout changes the per-query timeout at runtime (0 disables).
 func (e *Engine) SetQueryTimeout(d time.Duration) { e.s.SetQueryTimeout(d) }
