@@ -1,0 +1,381 @@
+package sudaf_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"sudaf"
+)
+
+// batchEngine builds an engine with a Milan-grid-style table: squares ×
+// hours with a value column, plus the qm/gm UDAFs the paper queries use.
+func batchEngine(t *testing.T) *sudaf.Engine {
+	t.Helper()
+	eng := sudaf.Open(sudaf.Options{Workers: 4})
+	rng := rand.New(rand.NewSource(20200330))
+	tbl := sudaf.NewTable("milan",
+		sudaf.NewColumn("square", sudaf.Int),
+		sudaf.NewColumn("hour", sudaf.Int),
+		sudaf.NewColumn("internet", sudaf.Float))
+	for i := 0; i < 20_000; i++ {
+		tbl.Col("square").AppendInt(int64(rng.Intn(50)))
+		tbl.Col("hour").AppendInt(int64(rng.Intn(24)))
+		tbl.Col("internet").AppendFloat(0.5 + rng.Float64()*99.5)
+	}
+	if err := eng.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// overlappingQueries is a Milan-style workload: distinct aggregates over
+// one shared data part (same tables, filters, grouping — one
+// fingerprint), plus one query with its own fingerprint.
+func overlappingQueries() []sudaf.Request {
+	return []sudaf.Request{
+		{SQL: "SELECT square, avg(internet) FROM milan GROUP BY square ORDER BY square"},
+		{SQL: "SELECT square, stddev(internet) FROM milan GROUP BY square ORDER BY square"},
+		{SQL: "SELECT square, qm(internet) FROM milan GROUP BY square ORDER BY square"},
+		{SQL: "SELECT square, gm(internet) FROM milan GROUP BY square ORDER BY square"},
+		{SQL: "SELECT hour, sum(internet) FROM milan GROUP BY hour ORDER BY hour"},
+	}
+}
+
+// requireBitIdentical fails unless two results carry bit-for-bit equal
+// output tables (float payloads compared via Float64bits — batch
+// execution must be indistinguishable from sequential, not just close)
+// and matching execution markers.
+func requireBitIdentical(t *testing.T, label string, got, want *sudaf.Result) {
+	t.Helper()
+	requireSameTable(t, label, got, want)
+	if got.Groups != want.Groups {
+		t.Fatalf("%s: Groups %d, want %d", label, got.Groups, want.Groups)
+	}
+	if got.FullCacheHit != want.FullCacheHit {
+		t.Fatalf("%s: FullCacheHit %v, want %v", label, got.FullCacheHit, want.FullCacheHit)
+	}
+	if got.UsedView != want.UsedView {
+		t.Fatalf("%s: UsedView %q, want %q", label, got.UsedView, want.UsedView)
+	}
+}
+
+// requireSameTable compares only the output tables, bit for bit.
+func requireSameTable(t *testing.T, label string, got, want *sudaf.Result) {
+	t.Helper()
+	if got.Table.NumRows() != want.Table.NumRows() {
+		t.Fatalf("%s: %d rows, want %d", label, got.Table.NumRows(), want.Table.NumRows())
+	}
+	if len(got.Table.Cols) != len(want.Table.Cols) {
+		t.Fatalf("%s: %d cols, want %d", label, len(got.Table.Cols), len(want.Table.Cols))
+	}
+	for c := range want.Table.Cols {
+		gc, wc := got.Table.Cols[c], want.Table.Cols[c]
+		if gc.Kind != wc.Kind {
+			t.Fatalf("%s col %d: kind %v, want %v", label, c, gc.Kind, wc.Kind)
+		}
+		for i := 0; i < want.Table.NumRows(); i++ {
+			if gc.Kind == sudaf.String {
+				if gc.StringAt(i) != wc.StringAt(i) {
+					t.Fatalf("%s col %d row %d: %q != %q", label, c, i, gc.StringAt(i), wc.StringAt(i))
+				}
+				continue
+			}
+			gb, wb := math.Float64bits(gc.AsFloat(i)), math.Float64bits(wc.AsFloat(i))
+			if gb != wb {
+				t.Fatalf("%s col %d row %d: %v (%#x) != %v (%#x)",
+					label, c, i, gc.AsFloat(i), gb, wc.AsFloat(i), wb)
+			}
+		}
+	}
+}
+
+// TestQueryBatchBitIdenticalToSequential is the batch ≡ sequential
+// differential from the issue: for every mode, QueryBatch over a fresh
+// engine must produce bit-for-bit the results of running the same
+// statements one by one on another fresh engine — including the cache
+// dynamics (FullCacheHit on later overlapping queries in Share mode).
+func TestQueryBatchBitIdenticalToSequential(t *testing.T) {
+	reqs := overlappingQueries()
+	for _, mode := range []sudaf.Mode{sudaf.Baseline, sudaf.Rewrite, sudaf.Share} {
+		seqEng := batchEngine(t)
+		batEng := batchEngine(t)
+		want := make([]*sudaf.Result, len(reqs))
+		for i, r := range reqs {
+			res, err := seqEng.Query(r.SQL, mode)
+			if err != nil {
+				t.Fatalf("%v sequential %d: %v", mode, i, err)
+			}
+			want[i] = res
+		}
+		got, err := batEng.QueryBatch(context.Background(), reqs, mode)
+		if err != nil {
+			t.Fatalf("%v batch: %v", mode, err)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("%v: %d results, want %d", mode, len(got), len(reqs))
+		}
+		for i := range reqs {
+			requireBitIdentical(t, mode.String()+" q"+reqs[i].SQL, got[i], want[i])
+		}
+	}
+}
+
+// TestQueryBatchAdversarialData runs the differential over NaN/±Inf/
+// signed-zero data: batch replay must preserve even the pathological
+// float semantics bit for bit.
+func TestQueryBatchAdversarialData(t *testing.T) {
+	reqs := []sudaf.Request{
+		{SQL: "SELECT g, sum(v), avg(v) FROM adv GROUP BY g ORDER BY g"},
+		{SQL: "SELECT g, min(v) FROM adv GROUP BY g ORDER BY g"},
+		{SQL: "SELECT g, pr(v) FROM adv GROUP BY g ORDER BY g"},
+		{SQL: "SELECT g, qm(v) FROM adv GROUP BY g ORDER BY g"},
+	}
+	for _, mode := range []sudaf.Mode{sudaf.Baseline, sudaf.Rewrite, sudaf.Share} {
+		seqEng := advEngine(t)
+		batEng := advEngine(t)
+		want := make([]*sudaf.Result, len(reqs))
+		for i, r := range reqs {
+			res, err := seqEng.Query(r.SQL, mode)
+			if err != nil {
+				t.Fatalf("%v sequential %d: %v", mode, i, err)
+			}
+			want[i] = res
+		}
+		got, err := batEng.QueryBatch(context.Background(), reqs, mode)
+		if err != nil {
+			t.Fatalf("%v batch: %v", mode, err)
+		}
+		for i := range reqs {
+			requireBitIdentical(t, mode.String()+" adv q"+reqs[i].SQL, got[i], want[i])
+		}
+	}
+}
+
+// TestQueryBatchSharesScans is the acceptance perf assertion: a batch of
+// N queries over one data part executes strictly fewer scans than N —
+// here exactly one fused scan, visible in the per-query scan stats.
+func TestQueryBatchSharesScans(t *testing.T) {
+	// Rewrite mode: no cache, so sequential execution scans once per
+	// query — the fused scan's saving is isolated from cache effects.
+	reqs := overlappingQueries()[:4] // one fingerprint
+	seqEng := batchEngine(t)
+	seqRows := 0
+	for _, r := range reqs {
+		res, err := seqEng.Query(r.SQL, sudaf.Rewrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsScanned == 0 {
+			t.Fatalf("sequential rewrite query scanned 0 rows")
+		}
+		seqRows += res.RowsScanned
+	}
+
+	batEng := batchEngine(t)
+	got, err := batEng.QueryBatch(context.Background(), reqs, sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batRows, kernels := 0, 0
+	for _, res := range got {
+		batRows += res.RowsScanned
+		kernels += len(res.Stats.Kernels)
+	}
+	if batRows*len(reqs) != seqRows {
+		t.Fatalf("batch scanned %d rows, sequential %d: want exactly 1/%d",
+			batRows, seqRows, len(reqs))
+	}
+	if kernels == 0 {
+		t.Fatal("no kernel attribution recorded for the fused scan")
+	}
+
+	// The engine-wide counter tells the same story.
+	if st := batEng.Stats(); int(st.RowsScanned)*len(reqs) != seqRows {
+		t.Fatalf("engine RowsScanned = %d, want %d", st.RowsScanned, seqRows/len(reqs))
+	}
+
+	// And the plan agrees before execution: one fused scan for N queries.
+	be, err := batEng.BatchExplain(reqs, sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Scans != 1 || len(be.Groups) != 1 {
+		t.Fatalf("BatchExplain: %d scans over %d groups, want 1/1", be.Scans, len(be.Groups))
+	}
+	if got, want := len(be.Groups[0].Members), len(reqs); got != want {
+		t.Fatalf("group members = %d, want %d", got, want)
+	}
+}
+
+// TestQueryBatchSingleElement pins the degenerate batch: one query must
+// behave exactly like a plain Query call, mode by mode.
+func TestQueryBatchSingleElement(t *testing.T) {
+	for _, mode := range []sudaf.Mode{sudaf.Baseline, sudaf.Rewrite, sudaf.Share} {
+		seqEng := batchEngine(t)
+		batEng := batchEngine(t)
+		sql := "SELECT square, stddev(internet) FROM milan GROUP BY square ORDER BY square"
+		want, err := seqEng.Query(sql, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := batEng.QueryBatch(context.Background(), []sudaf.Request{{SQL: sql}}, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("%d results", len(got))
+		}
+		requireBitIdentical(t, mode.String()+" single", got[0], want)
+	}
+}
+
+// TestQueryBatchEmptyAndErrors pins the batch error contract: empty
+// batches are a no-op, and the first failing query aborts the whole
+// batch with its index and the usual sentinel.
+func TestQueryBatchEmptyAndErrors(t *testing.T) {
+	eng := batchEngine(t)
+	res, err := eng.QueryBatch(context.Background(), nil, sudaf.Share)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+	_, err = eng.QueryBatch(context.Background(), []sudaf.Request{
+		{SQL: "SELECT square, avg(internet) FROM milan GROUP BY square"},
+		{SQL: "SELECT square, prod(internet) FROM milan GROUP BY square"},
+	}, sudaf.Share)
+	if !errors.Is(err, sudaf.ErrUnknownUDAF) {
+		t.Fatalf("err = %v, want ErrUnknownUDAF", err)
+	}
+	if !strings.Contains(err.Error(), "batch query 1") {
+		t.Fatalf("error does not name the failing query: %v", err)
+	}
+	_, err = eng.QueryBatch(context.Background(), []sudaf.Request{{SQL: "SELEC nope"}}, sudaf.Share)
+	if !errors.Is(err, sudaf.ErrParse) {
+		t.Fatalf("err = %v, want ErrParse", err)
+	}
+}
+
+// TestQueryBatchRacingAppend races whole batches against concurrent
+// appends. Each batch must run against one consistent snapshot: two
+// identical queries inside one batch must agree bit for bit even while
+// the table grows underneath, and nothing may error. Run under -race in
+// the stress matrix.
+func TestQueryBatchRacingAppend(t *testing.T) {
+	eng := batchEngine(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			delta := sudaf.NewTable("milan",
+				sudaf.NewColumn("square", sudaf.Int),
+				sudaf.NewColumn("hour", sudaf.Int),
+				sudaf.NewColumn("internet", sudaf.Float))
+			for i := 0; i < 64; i++ {
+				delta.Col("square").AppendInt(int64(rng.Intn(50)))
+				delta.Col("hour").AppendInt(int64(rng.Intn(24)))
+				delta.Col("internet").AppendFloat(0.5 + rng.Float64()*99.5)
+			}
+			if _, err := eng.Append(context.Background(), "milan", delta); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+	sql := "SELECT square, qm(internet), stddev(internet) FROM milan GROUP BY square ORDER BY square"
+	for iter := 0; iter < 20; iter++ {
+		got, err := eng.QueryBatch(context.Background(),
+			[]sudaf.Request{{SQL: sql}, {SQL: sql}}, sudaf.Share)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		// The twins share one snapshot: identical output tables (the
+		// second is typically a full cache hit, so only tables compare).
+		requireSameTable(t, "racing twin", got[1], got[0])
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestBatchExplainDispositions checks the planned sharing provenance:
+// overlapping aggregates fuse or derive instead of being recomputed, and
+// a warmed cache takes over.
+func TestBatchExplainDispositions(t *testing.T) {
+	eng := batchEngine(t)
+	reqs := []sudaf.Request{
+		{SQL: "SELECT square, avg(internet) FROM milan GROUP BY square"},
+		{SQL: "SELECT square, stddev(internet) FROM milan GROUP BY square"},
+	}
+	be, err := eng.BatchExplain(reqs, sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(be.Groups) != 1 {
+		t.Fatalf("%d groups, want 1", len(be.Groups))
+	}
+	disp := map[string]int{}
+	for _, st := range be.Groups[0].States {
+		disp[st.Disposition]++
+	}
+	// avg plans {sum, count}; stddev re-uses both (count and sum(x)
+	// identical → batch:fused) and adds sum(x²) (computed).
+	if disp["batch:fused"] == 0 {
+		t.Fatalf("no fused states in %v\n%s", disp, be)
+	}
+	if disp["computed"] == 0 {
+		t.Fatalf("no computed states in %v", disp)
+	}
+	if be.Scans != 1 {
+		t.Fatalf("Scans = %d, want 1", be.Scans)
+	}
+
+	// Warm the cache, re-plan: the cache now serves every state.
+	if _, err := eng.Query(reqs[1].SQL, sudaf.Share); err != nil {
+		t.Fatal(err)
+	}
+	be2, err := eng.BatchExplain(reqs, sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range be2.Groups[0].States {
+		if !strings.HasPrefix(st.Disposition, "cache:") {
+			t.Fatalf("state %s still %s after warmup\n%s", st.State, st.Disposition, be2)
+		}
+	}
+	if be2.Scans != 0 {
+		t.Fatalf("Scans = %d after warmup, want 0", be2.Scans)
+	}
+	if s := be2.String(); !strings.Contains(s, "fused scans: 0") {
+		t.Fatalf("String missing scan line:\n%s", s)
+	}
+}
+
+// TestQueryBatchWarmsCache pins the cache hand-off: a batch in Share
+// mode leaves the cache as warm as the sequential run would, so a
+// follow-up query is a full cache hit.
+func TestQueryBatchWarmsCache(t *testing.T) {
+	eng := batchEngine(t)
+	if _, err := eng.QueryBatch(context.Background(), overlappingQueries()[:4], sudaf.Share); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(
+		"SELECT square, variance(internet) FROM milan GROUP BY square", sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsScanned != 0 || !res.FullCacheHit {
+		t.Fatalf("follow-up not served from batch-warmed cache: scanned %d, fullHit %v",
+			res.RowsScanned, res.FullCacheHit)
+	}
+}

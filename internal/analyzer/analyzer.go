@@ -1,0 +1,96 @@
+// Package analyzer is a small rule-based planning pipeline in the style
+// of go-mysql-server's sql/analyzer: a plan passes through a fixed
+// sequence of phases, each phase a list of small, individually-testable
+// rules. Rules are plain functions over a caller-defined plan type P —
+// the framework owns only sequencing, cooperative cancellation between
+// rules, error propagation and per-rule observation.
+//
+// The SUDAF query planner (internal/core) instantiates it with phases
+// resolve → canonicalize → share → fuse → parallelize; the batch planner
+// reuses the resolve/canonicalize front to unify states across queries.
+package analyzer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrStop is returned by a rule to halt the pipeline early without
+// error: remaining rules and phases are skipped and Run returns nil.
+// Rules use it when a plan is already fully decided (e.g. a query
+// answered entirely from cache needs no fuse/parallelize work).
+var ErrStop = errors.New("analyzer: stop")
+
+// Rule is one atomic planning step. Apply mutates the plan in place; a
+// returned error aborts the pipeline (ErrStop aborts it successfully).
+type Rule[P any] struct {
+	Name  string
+	Apply func(ctx context.Context, p P) error
+}
+
+// Phase is a named list of rules applied in order.
+type Phase[P any] struct {
+	Name  string
+	Rules []Rule[P]
+}
+
+// Observer is notified after every rule application with the phase and
+// rule names and the rule's outcome (nil, ErrStop, or a real error).
+// Nil observers are allowed; observation must not mutate the plan.
+type Observer func(phase, rule string, err error)
+
+// Pipeline is a fixed sequence of phases.
+type Pipeline[P any] struct {
+	Phases []Phase[P]
+}
+
+// Run applies every phase's rules in order. Between rules it polls ctx,
+// so a canceled query stops at the next rule boundary. The first real
+// error aborts and is returned wrapped with the phase/rule position;
+// ErrStop aborts cleanly and Run returns nil.
+func (pl *Pipeline[P]) Run(ctx context.Context, p P, obs Observer) error {
+	for _, ph := range pl.Phases {
+		for _, r := range ph.Rules {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			err := r.Apply(ctx, p)
+			if obs != nil {
+				obs(ph.Name, r.Name, err)
+			}
+			if err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
+				return fmt.Errorf("analyzer %s/%s: %w", ph.Name, r.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Rule returns the named rule (phase-qualified as "phase/rule"), for
+// tests that exercise one rule in isolation.
+func (pl *Pipeline[P]) Rule(phase, rule string) (Rule[P], bool) {
+	for _, ph := range pl.Phases {
+		if ph.Name != phase {
+			continue
+		}
+		for _, r := range ph.Rules {
+			if r.Name == rule {
+				return r, true
+			}
+		}
+	}
+	return Rule[P]{}, false
+}
+
+// PhaseNames lists the pipeline's phase names in order.
+func (pl *Pipeline[P]) PhaseNames() []string {
+	out := make([]string, len(pl.Phases))
+	for i, ph := range pl.Phases {
+		out[i] = ph.Name
+	}
+	return out
+}

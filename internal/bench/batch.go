@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"text/tabwriter"
+	"time"
+
+	"sudaf/internal/core"
+)
+
+// BatchAggs are the overlapping aggregates of the batch experiment: all
+// share the Milan table's query-model-2 data part, so a batch plans one
+// fused scan where sequential submission scans once per cold state set.
+var BatchAggs = []string{"avg", "std", "var", "qm", "gm", "hm", "cm", "sum"}
+
+// BatchResult is one (system) row of the batch experiment.
+type BatchResult struct {
+	System     string
+	Queries    int
+	SeqSecs    float64
+	SeqRows    int
+	BatchSecs  float64
+	BatchRows  int
+	BatchScans int // fused scans the batch planned (from BatchExplain)
+}
+
+// Batch measures Engine.QueryBatch against sequential submission: the
+// same N overlapping Milan query-model-2 queries, cold cache both ways,
+// for the three systems. Sharing-aware batches collapse the N table
+// scans into one fused scan (plus whatever sequential sharing already
+// saved), so the scanned-row column is the headline.
+func (r *Runner) Batch() []BatchResult {
+	s := r.session(true)
+	queries := make([]string, len(BatchAggs))
+	reqs := make([]core.Request, len(BatchAggs))
+	for i, agg := range BatchAggs {
+		queries[i] = queryModel(2, agg)
+		reqs[i] = core.Request{SQL: queries[i]}
+	}
+	fmt.Fprintf(r.out, "\n== BATCH: %d overlapping model-2 queries, sequential vs QueryBatch, Spark-mode ==\n",
+		len(queries))
+	var out []BatchResult
+	tw := tabwriter.NewWriter(r.out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "system\tseq(s)\tseq rows\tbatch(s)\tbatch rows\tfused scans\tspeedup\n")
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeRewrite, core.ModeShare} {
+		br := BatchResult{System: mode.String(), Queries: len(queries)}
+
+		s.ClearCache()
+		for i, q := range queries {
+			m := r.run(s, "batch-seq", BatchAggs[i], mode, q)
+			br.SeqRows += m.Rows
+			br.SeqSecs += m.Seconds
+		}
+
+		s.ClearCache()
+		be, err := s.BatchExplain(reqs, mode)
+		must(err)
+		br.BatchScans = be.Scans
+		start := time.Now()
+		results, err := s.QueryBatch(context.Background(), reqs, mode)
+		must(err)
+		br.BatchSecs = time.Since(start).Seconds()
+		for _, res := range results {
+			br.BatchRows += res.RowsScanned
+		}
+		r.Results = append(r.Results, Measurement{
+			Exp: "batch", Label: fmt.Sprintf("%d queries", len(queries)),
+			System: mode.String(), Seconds: br.BatchSecs, Rows: br.BatchRows,
+		})
+
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%.3f\t%d\t%d\t%.2fx\n",
+			br.System, br.SeqSecs, br.SeqRows, br.BatchSecs, br.BatchRows,
+			br.BatchScans, br.SeqSecs/br.BatchSecs)
+		out = append(out, br)
+	}
+	tw.Flush()
+	return out
+}

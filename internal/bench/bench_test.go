@@ -90,6 +90,31 @@ func TestSequencesSmoke(t *testing.T) {
 	}
 }
 
+func TestBatchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke test")
+	}
+	r, buf := tinyRunner()
+	results := r.Batch()
+	if len(results) != 3 {
+		t.Fatalf("got %d batch results", len(results))
+	}
+	if !strings.Contains(buf.String(), "fused scans") {
+		t.Error("batch report missing the fused-scan column")
+	}
+	for _, br := range results {
+		// One fused scan serves the whole overlapping batch, so the batch
+		// scans strictly fewer rows than N sequential cold queries.
+		if br.BatchScans != 1 {
+			t.Errorf("%s: %d fused scans, want 1", br.System, br.BatchScans)
+		}
+		if br.BatchRows >= br.SeqRows {
+			t.Errorf("%s: batch scanned %d rows, sequential %d — batch must scan fewer",
+				br.System, br.BatchRows, br.SeqRows)
+		}
+	}
+}
+
 func TestTable1AndSpace(t *testing.T) {
 	r, buf := tinyRunner()
 	r.Table1()

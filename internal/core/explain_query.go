@@ -107,18 +107,8 @@ func (s *Session) ExplainQuery(sql string, mode Mode) (*Explain, error) {
 			return nil, fmt.Errorf("EXPLAIN does not support subqueries")
 		}
 	}
-	for _, item := range stmt.Select {
-		var unknown error
-		expr.Walk(item.Expr, func(n expr.Node) bool {
-			if c, ok := n.(*expr.Call); ok && expr.AggregateFuncs[c.Name] && !s.isAgg(c.Name) {
-				unknown = fmt.Errorf("%w %q", errs.ErrUnknownUDAF, c.Name)
-				return false
-			}
-			return true
-		})
-		if unknown != nil {
-			return nil, unknown
-		}
+	if err := s.checkAggregates(stmt); err != nil {
+		return nil, err
 	}
 
 	qc := &queryCtx{cat: s.cat.Snapshot(), cache: s.stateCache()}

@@ -14,7 +14,6 @@ import (
 	"sudaf/internal/exec"
 	"sudaf/internal/expr"
 	"sudaf/internal/obs"
-	"sudaf/internal/rewrite"
 	"sudaf/internal/scalar"
 	"sudaf/internal/sqlparse"
 	"sudaf/internal/storage"
@@ -83,6 +82,10 @@ type queryCtx struct {
 	// query is not sampled — every span call is nil-safe and free). It is
 	// only touched by the query's orchestration goroutine.
 	sp *obs.Span
+	// provide, when non-nil, offers pre-computed scan results to the
+	// parallelize phase (batch replays consume the batch's fused scans
+	// through it). Nil for ordinary queries.
+	provide scanProvider
 }
 
 // tempCat returns the catalog to register subquery temporaries in. The
@@ -90,6 +93,19 @@ type queryCtx struct {
 // registrations shadow the session catalog without writing to it, so
 // concurrent queries can materialize temps under the same alias.
 func (qc *queryCtx) tempCat() *catalog.Catalog { return qc.cat }
+
+// Request is one query submission: the statement plus the mode to run
+// it in. Every entry point — Query, QueryContext, QueryBatches,
+// QueryBatch — reduces to Requests flowing through the session's single
+// internal submission path.
+type Request struct {
+	// SQL is the statement text.
+	SQL string
+	// Mode selects baseline / rewrite / share execution. The zero value
+	// is ModeBaseline. QueryBatch runs its whole batch under the mode
+	// passed to it and ignores per-Request modes.
+	Mode Mode
+}
 
 // Query parses and runs a SQL statement in the given mode.
 func (s *Session) Query(sql string, mode Mode) (*Result, error) {
@@ -106,23 +122,25 @@ func (s *Session) Query(sql string, mode Mode) (*Result, error) {
 // QueryContext is safe to call from any number of goroutines. When
 // Options.MaxConcurrentQueries is set, excess calls queue here until a
 // slot frees or ctx is done.
-func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res *Result, err error) {
-	if ctx == nil {
-		ctx = context.Background()
+func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (*Result, error) {
+	return s.submit(ctx, Request{SQL: sql, Mode: mode})
+}
+
+// admitted is the shared front door of the submission path: the
+// lifecycle gate (a closed/draining session rejects new work with the
+// typed sentinel; admitted work is tracked so Close can wait for it),
+// admission control (bound the queries executing at once so the morsel
+// scheduler isn't oversubscribed — queued callers stay cancelable, and
+// resolve deterministically when the session closes mid-wait: a slot,
+// their own context, or the close), and query-timeout nesting. Both
+// single submissions and whole batches (one slot per batch) pass
+// through it. The returned release func must be deferred by the caller;
+// it is nil exactly when err is non-nil.
+func (s *Session) admitted(ctx context.Context, kind string) (outCtx context.Context, queued time.Duration, release func(), err error) {
+	if err := s.beginOp(kind); err != nil {
+		return nil, 0, nil, err
 	}
-	// Lifecycle gate: a closed (draining) session rejects new queries
-	// with the typed sentinel; admitted queries are tracked so Close can
-	// wait for them.
-	if err := s.beginOp("query"); err != nil {
-		return nil, err
-	}
-	defer s.endOp()
-	// Admission control: bound the queries executing at once so the
-	// morsel scheduler isn't oversubscribed. Queued callers stay
-	// cancelable, and resolve deterministically when the session closes
-	// mid-wait: a slot (the query is accepted and runs under the drain),
-	// their own context (ErrCanceled), or the close (ErrEngineClosed).
-	var queued time.Duration
+	release = s.endOp
 	if s.admit != nil {
 		select {
 		case s.admit <- struct{}{}:
@@ -133,12 +151,15 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 				queued = time.Since(waitStart)
 				s.queueNanos.Add(int64(queued))
 			case <-ctx.Done():
-				return nil, fmt.Errorf("%w: %w", errs.ErrCanceled, ctx.Err())
+				s.endOp()
+				return nil, 0, nil, fmt.Errorf("%w: %w", errs.ErrCanceled, ctx.Err())
 			case <-s.closedCh():
-				return nil, fmt.Errorf("%w: engine closed while queued for admission", errs.ErrEngineClosed)
+				s.endOp()
+				return nil, 0, nil, fmt.Errorf("%w: engine closed while queued for admission", errs.ErrEngineClosed)
 			}
 		}
-		defer func() { <-s.admit }()
+		prev := release
+		release = func() { <-s.admit; prev() }
 	}
 	s.mu.RLock()
 	timeout := s.queryTimeout
@@ -146,8 +167,24 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
+		prev := release
+		release = func() { cancel(); prev() }
 	}
+	return ctx, queued, release, nil
+}
+
+// submit runs one Request end to end: admission, trace sampling, parse,
+// analyze (the rule pipeline), execute, stats finalization. This is the
+// single internal submission path every query entry point flows through.
+func (s *Session) submit(ctx context.Context, req Request) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, queued, release, err := s.admitted(ctx, "query")
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if queued > 0 {
 		s.queriesQueued.Add(1)
 	}
@@ -158,7 +195,7 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 	var tr *obs.Trace
 	if s.sampler.Sample() {
 		tr = obs.NewTrace("query")
-		tr.Root().SetStr("mode", mode.String())
+		tr.Root().SetStr("mode", req.Mode.String())
 	}
 	start := time.Now()
 	defer func() {
@@ -193,7 +230,7 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 		return nil, err
 	}
 	psp := tr.Root().Child("parse")
-	stmt, err := sqlparse.Parse(sql)
+	stmt, err := sqlparse.Parse(req.SQL)
 	psp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", errs.ErrParse, err)
@@ -203,7 +240,7 @@ func (s *Session) QueryContext(ctx context.Context, sql string, mode Mode) (res 
 	// old ones) stay invisible to in-flight scans, batch cursors and
 	// row iterators.
 	qc := &queryCtx{cat: s.cat.Snapshot(), cache: s.stateCache(), sp: tr.Root()}
-	return s.runStmt(ctx, qc, stmt, mode, 0)
+	return s.runStmt(ctx, qc, stmt, req.Mode, 0)
 }
 
 func (s *Session) runStmt(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt, mode Mode, depth int) (*Result, error) {
@@ -244,22 +281,8 @@ func (s *Session) runStmt(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt
 		stmt.From[i] = sqlparse.TableRef{Name: ref.Alias}
 	}
 
-	// A call with aggregate syntax (sum, prod, …) that is neither a SQL
-	// built-in nor a registered UDAF would otherwise fall through to the
-	// scalar evaluator and fail confusingly; reject it up front under the
-	// ErrUnknownUDAF sentinel.
-	for _, item := range stmt.Select {
-		var unknown error
-		expr.Walk(item.Expr, func(n expr.Node) bool {
-			if c, ok := n.(*expr.Call); ok && expr.AggregateFuncs[c.Name] && !s.isAgg(c.Name) {
-				unknown = fmt.Errorf("%w %q", errs.ErrUnknownUDAF, c.Name)
-				return false
-			}
-			return true
-		})
-		if unknown != nil {
-			return nil, unknown
-		}
+	if err := s.checkAggregates(stmt); err != nil {
+		return nil, err
 	}
 
 	if !s.hasAggregates(stmt) && len(stmt.GroupBy) == 0 {
@@ -273,57 +296,14 @@ func (s *Session) runStmt(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt
 		return &Result{Table: r.Table, RowsScanned: r.Rows, Groups: r.Groups}, nil
 	}
 
-	psp := qc.sp.Child("plan")
-	dp, err := s.eng.PrepareDataIn(qc.cat, stmt)
-	if err != nil {
+	// Everything aggregate flows through the fixed analyzer pipeline
+	// (resolve → canonicalize → share → fuse → parallelize), then the
+	// common execution tail.
+	ps := &planState{s: s, qc: qc, stmt: stmt, mode: mode}
+	if err := queryPipeline.Run(ctx, ps, nil); err != nil {
 		return nil, err
 	}
-	psp.SetStr("fingerprint", dp.Fingerprint)
-	psp.End()
-
-	// Extract aggregate calls into placeholders.
-	var calls []*expr.Call
-	items := make([]sqlparse.SelectItem, len(stmt.Select))
-	for i, item := range stmt.Select {
-		items[i] = sqlparse.SelectItem{
-			Expr:  exec.ExtractAggCalls(item.Expr, s.isAgg, &calls),
-			Alias: item.Alias,
-		}
-	}
-	spec := exec.OutputSpec{Items: items, Numeric: s.NumericPolicySetting()}
-	reg := exec.NewTaskRegistry()
-
-	if mode == ModeBaseline {
-		for _, call := range calls {
-			fin, err := s.baselineFinisher(call, reg)
-			if err != nil {
-				return nil, err
-			}
-			spec.Finishers = append(spec.Finishers, fin)
-			spec.Labels = append(spec.Labels, call.String())
-		}
-		ssp := qc.sp.Child("scan/agg")
-		gr, err := s.eng.RunSpecs(ctx, dp, reg)
-		if err != nil {
-			return nil, err
-		}
-		noteScanAgg(ssp, gr)
-		ssp.End()
-		fsp := qc.sp.Child("finisher")
-		out, err := exec.BuildOutput(ctx, stmt, dp, gr, spec)
-		if err != nil {
-			return nil, err
-		}
-		fsp.SetInt("groups", int64(out.Groups))
-		fsp.End()
-		qc.noteKernels(gr)
-		res := &Result{Table: out.Table, RowsScanned: gr.Rows, Groups: out.Groups,
-			NumericFaults: out.NumericFaults, Stats: qc.stats}
-		noteNumericFaults(res)
-		return res, nil
-	}
-
-	return s.runSUDAF(ctx, qc, stmt, dp, calls, spec, reg, mode)
+	return s.executePlan(ctx, ps)
 }
 
 // noteKernels merges a group result's kernel names into the query stats
@@ -364,6 +344,28 @@ func noteNumericFaults(res *Result) {
 	}
 }
 
+// checkAggregates rejects calls with aggregate syntax (sum, prod, …)
+// that are neither SQL built-ins nor registered UDAFs, up front under
+// the ErrUnknownUDAF sentinel — otherwise they would fall through to
+// the scalar evaluator and fail confusingly. Shared by the submission
+// path, EXPLAIN, and the batch planner.
+func (s *Session) checkAggregates(stmt *sqlparse.Stmt) error {
+	for _, item := range stmt.Select {
+		var unknown error
+		expr.Walk(item.Expr, func(n expr.Node) bool {
+			if c, ok := n.(*expr.Call); ok && expr.AggregateFuncs[c.Name] && !s.isAgg(c.Name) {
+				unknown = fmt.Errorf("%w %q", errs.ErrUnknownUDAF, c.Name)
+				return false
+			}
+			return true
+		})
+		if unknown != nil {
+			return unknown
+		}
+	}
+	return nil
+}
+
 func (s *Session) hasAggregates(stmt *sqlparse.Stmt) bool {
 	found := false
 	for _, item := range stmt.Select {
@@ -385,257 +387,6 @@ type slot struct {
 	taskIdx  int // index in the task registry, -1 when cached
 	cached   []float64
 	finalIdx int // index into the assembled value matrix
-}
-
-// runSUDAF executes a query in ModeRewrite or ModeShare.
-func (s *Session) runSUDAF(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt, dp *exec.DataPlan, calls []*expr.Call,
-	spec exec.OutputSpec, reg *exec.TaskRegistry, mode Mode) (*Result, error) {
-
-	// events accumulates degradation notes (cache faults survived, states
-	// dropped). The cache is an accelerator: any fault in it downgrades to
-	// recomputation from base data, never a failed query.
-	var events []string
-	guard := func(stage string, f func()) {
-		defer func() {
-			if r := recover(); r != nil {
-				events = append(events, fmt.Sprintf(
-					"cache: panic during %s (recovered); falling back to recomputation: %v", stage, r))
-			}
-		}()
-		f()
-	}
-
-	slots := map[string]*slot{}
-	var slotOrder []string
-	getSlot := func(st canonical.State, positive bool) *slot {
-		key := st.Key()
-		if sl, ok := slots[key]; ok {
-			return sl
-		}
-		sl := &slot{st: st, positive: positive, taskIdx: -1}
-		slots[key] = sl
-		slotOrder = append(slotOrder, key)
-		return sl
-	}
-
-	// Decompose every aggregate call into bound states + a finisher.
-	csp := qc.sp.Child("canonicalize")
-	for _, call := range calls {
-		form, err := s.formFor(call.Name)
-		if err != nil {
-			return nil, err
-		}
-		if len(call.Args) != len(form.Params) {
-			return nil, fmt.Errorf("%s takes %d argument(s), got %d", call.Name, len(form.Params), len(call.Args))
-		}
-		bind := map[string]expr.Node{}
-		for i, p := range form.Params {
-			bind[p] = call.Args[i]
-		}
-		callSlots := make([]*slot, len(form.States))
-		for j, st := range form.States {
-			bs := st
-			if st.Op != canonical.OpCount {
-				bs.Base = expr.Simplify(expr.Substitute(st.Base, bind))
-			}
-			callSlots[j] = getSlot(bs, basePositive(qc.cat, bs.Base, dp.Tables()))
-		}
-		tfn, err := form.CompileT()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", call.Name, err)
-		}
-		cs := callSlots
-		buf := make([]float64, len(cs))
-		spec.Finishers = append(spec.Finishers, func(vals [][]float64, g int) float64 {
-			for j, sl := range cs {
-				buf[j] = vals[sl.finalIdx][g]
-			}
-			return tfn(buf)
-		})
-		spec.Labels = append(spec.Labels, call.String())
-	}
-	csp.SetInt("aggregates", int64(len(calls)))
-	csp.SetInt("states", int64(len(slotOrder)))
-	csp.End()
-
-	// Cache consultation (share mode only). Guarded: a cache that panics
-	// behaves like a cache that misses. The query runs against its
-	// admission-time cache snapshot (qc.cache) throughout, so a
-	// concurrent ClearCache can't split one query across two caches.
-	var entry *cache.GroupTable
-	entryOK := false
-	if mode == ModeShare {
-		lsp := qc.sp.Child("sharing-lookup")
-		guard("entry lookup", func() {
-			entry, entryOK = qc.cache.Entry(dp.Fingerprint)
-		})
-		for _, key := range slotOrder {
-			sl := slots[key]
-			guard("state lookup", func() {
-				vals, kind, ok := qc.cache.LookupKind(dp.Fingerprint, sl.st, sl.positive)
-				if ok {
-					sl.cached = vals
-				}
-				switch kind {
-				case cache.HitExact:
-					qc.stats.CacheExactHits++
-				case cache.HitShared:
-					qc.stats.CacheSharedHits++
-				case cache.HitSign:
-					qc.stats.CacheSignHits++
-				default:
-					qc.stats.CacheMisses++
-				}
-			})
-		}
-		lsp.SetInt("exact", int64(qc.stats.CacheExactHits))
-		lsp.SetInt("shared", int64(qc.stats.CacheSharedHits))
-		lsp.SetInt("sign", int64(qc.stats.CacheSignHits))
-		lsp.SetInt("miss", int64(qc.stats.CacheMisses))
-		lsp.End()
-	}
-
-	var missing []*slot
-	for _, key := range slotOrder {
-		if sl := slots[key]; sl.cached == nil {
-			missing = append(missing, sl)
-		}
-	}
-
-	// Aggregate-view rewriting for the missing states (Q3 → RQ3').
-	dpRun := dp
-	usedView := ""
-	if len(missing) > 0 && s.ViewRewriting() && !entryOK {
-		vsp := qc.sp.Child("view-rewrite")
-		if dpv, rollup, name := s.tryViews(qc, dp, missing); dpv != nil {
-			dpRun = dpv
-			usedView = name
-			vsp.SetStr("view", name)
-			for _, sl := range missing {
-				st := rewrite.RollupState(sl.st, rollup.StateCol[sl.st.Key()])
-				sl.taskIdx = addStateTask(reg, st, sl.st.Key())
-			}
-			missing = nil
-		}
-		vsp.End()
-	}
-
-	// Remaining missing states execute from base data, plus §5.3
-	// sign-split companions for states that need them.
-	var companions []*slot
-	for _, sl := range missing {
-		sl.taskIdx = addStateTask(reg, sl.st, sl.st.Key())
-		if mode == ModeShare && !sl.positive && needsSignSplit(sl.st) {
-			lnAbs, sgnProd := cache.SignSplitStates(sl.st.Base)
-			for _, comp := range []canonical.State{lnAbs, sgnProd} {
-				cs := &slot{st: comp, positive: false}
-				cs.taskIdx = addStateTask(reg, comp, comp.Key())
-				companions = append(companions, cs)
-			}
-		}
-	}
-
-	// Execute, or synthesize the group structure from the cache.
-	var gr *exec.GroupResult
-	fullHit := false
-	if reg.Len() == 0 && mode == ModeShare && entryOK {
-		gr = &exec.GroupResult{
-			NumGroups:  entry.NumGroups(),
-			Keys:       entry.Keys,
-			KeyNames:   entry.KeyNames,
-			KeyColumns: entry.KeyCols,
-			Rows:       0,
-		}
-		fullHit = true
-	} else {
-		ssp := qc.sp.Child("scan/agg")
-		ssp.SetInt("tasks", int64(reg.Len()))
-		var err error
-		gr, err = s.eng.RunSpecs(ctx, dpRun, reg)
-		if err != nil {
-			return nil, err
-		}
-		noteScanAgg(ssp, gr)
-		ssp.End()
-		qc.noteKernels(gr)
-	}
-
-	// Assemble the value matrix: task outputs first, then cached arrays
-	// aligned to the result's group order.
-	for _, key := range slotOrder {
-		sl := slots[key]
-		if sl.cached == nil {
-			sl.finalIdx = sl.taskIdx
-			continue
-		}
-		aligned := sl.cached
-		if !fullHit {
-			var ok bool
-			aligned, ok = alignEntryToResult(entry, gr, sl.cached)
-			if !ok {
-				return nil, fmt.Errorf("cache entry misaligned with result groups for state %s", key)
-			}
-		}
-		sl.finalIdx = len(gr.Values)
-		gr.Values = append(gr.Values, aligned)
-	}
-
-	// Cache the freshly computed states (and companions). Guarded: a
-	// failed insert costs future sharing, not this query.
-	if mode == ModeShare && !fullHit {
-		stsp := qc.sp.Child("cache-store")
-		stored := 0
-		guard("state insert", func() {
-			gt := cache.NewGroupTable(dp.Fingerprint, gr.KeyNames, gr.Keys, gr.KeyColumns)
-			// Attach the maintenance record: the statement's data part
-			// plus the pinned table versions it ran against. The append
-			// path uses it to delta-fold future batches into this entry
-			// instead of invalidating it.
-			gt.Maint = newMaintRec(stmt, dp)
-			for _, key := range slotOrder {
-				sl := slots[key]
-				if sl.taskIdx >= 0 {
-					_ = gt.AddState(&cache.CachedState{
-						State:         sl.st,
-						Vals:          gr.Values[sl.taskIdx],
-						PositiveInput: sl.positive,
-					})
-				}
-			}
-			for _, cs := range companions {
-				_ = gt.AddState(&cache.CachedState{State: cs.st, Vals: gr.Values[cs.taskIdx]})
-			}
-			if gt.NumStates() > 0 {
-				qc.cache.Put(gt)
-				stored = gt.NumStates()
-			}
-		})
-		stsp.SetInt("states", int64(stored))
-		stsp.End()
-	}
-
-	fsp := qc.sp.Child("finisher")
-	out, err := exec.BuildOutput(ctx, stmt, dpRun, gr, spec)
-	if err != nil {
-		return nil, err
-	}
-	fsp.SetInt("groups", int64(out.Groups))
-	fsp.End()
-	if mode == ModeShare {
-		events = append(events, qc.cache.DrainEvents()...)
-	}
-	res := &Result{
-		Table:         out.Table,
-		RowsScanned:   gr.Rows,
-		Groups:        out.Groups,
-		UsedView:      usedView,
-		FullCacheHit:  fullHit,
-		NumericFaults: out.NumericFaults,
-		Events:        events,
-		Stats:         qc.stats,
-	}
-	noteNumericFaults(res)
-	return res, nil
 }
 
 // addStateTask registers a compiled state task under its key.

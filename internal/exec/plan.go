@@ -121,30 +121,61 @@ func (e *Engine) PrepareData(stmt *sqlparse.Stmt) (*DataPlan, error) {
 // against an explicit catalog — typically a per-query overlay holding
 // materialized subqueries on top of the session catalog. Subqueries must
 // have been materialized by the caller.
+//
+// It is the composition of the four resolve-phase steps the analyzer
+// pipeline exposes individually: NewDataPlan → ResolveFrom →
+// ClassifyWhere → ResolveGroupBy → Seal.
 func (e *Engine) PrepareDataIn(cat *catalog.Catalog, stmt *sqlparse.Stmt) (*DataPlan, error) {
-	dp := &DataPlan{eng: e, filters: map[string]sqlparse.Pred{}}
+	dp := e.NewDataPlan()
+	if err := dp.ResolveFrom(cat, stmt); err != nil {
+		return nil, err
+	}
+	if err := dp.ClassifyWhere(cat, stmt); err != nil {
+		return nil, err
+	}
+	if err := dp.ResolveGroupBy(cat, stmt); err != nil {
+		return nil, err
+	}
+	dp.Seal(stmt)
+	return dp, nil
+}
+
+// NewDataPlan starts an empty plan for step-wise resolution (the
+// analyzer's resolve phase applies the Resolve*/Seal steps as rules).
+func (e *Engine) NewDataPlan() *DataPlan {
+	return &DataPlan{eng: e, filters: map[string]sqlparse.Pred{}}
+}
+
+// ResolveFrom resolves the statement's FROM list to catalog tables.
+// Subqueries must have been materialized (and their refs rewritten)
+// by the caller beforehand.
+func (dp *DataPlan) ResolveFrom(cat *catalog.Catalog, stmt *sqlparse.Stmt) error {
 	for _, ref := range stmt.From {
 		if ref.Sub != nil {
-			return nil, fmt.Errorf("subquery %q must be materialized before PrepareData", ref.RefName())
+			return fmt.Errorf("subquery %q must be materialized before PrepareData", ref.RefName())
 		}
 		t, err := cat.Table(ref.Name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dp.tables = append(dp.tables, t)
 	}
-	names := dp.Tables()
+	return nil
+}
 
-	// Classify WHERE conjuncts into join conditions and per-table filters.
+// ClassifyWhere splits the WHERE clause's conjuncts into equi-join
+// conditions and per-table pushed-down filters. Requires ResolveFrom.
+func (dp *DataPlan) ClassifyWhere(cat *catalog.Catalog, stmt *sqlparse.Stmt) error {
+	names := dp.Tables()
 	for _, conj := range sqlparse.Conjuncts(stmt.Where) {
 		if cmp, ok := conj.(*sqlparse.Cmp); ok && cmp.Op == "=" && cmp.L.IsCol && cmp.R.IsCol {
 			lt, err := cat.ResolveColumn(cmp.L.Col, names)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rt, err := cat.ResolveColumn(cmp.R.Col, names)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if lt != rt {
 				dp.joins = append(dp.joins, joinCond{
@@ -156,7 +187,7 @@ func (e *Engine) PrepareDataIn(cat *catalog.Catalog, stmt *sqlparse.Stmt) (*Data
 		// Single-table filter (or same-table column comparison).
 		owner, err := predOwner(cat, conj, names)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if prev, ok := dp.filters[owner.Name]; ok {
 			dp.filters[owner.Name] = &sqlparse.And{L: prev, R: conj}
@@ -164,20 +195,31 @@ func (e *Engine) PrepareDataIn(cat *catalog.Catalog, stmt *sqlparse.Stmt) (*Data
 			dp.filters[owner.Name] = conj
 		}
 	}
+	return nil
+}
 
+// ResolveGroupBy resolves the grouping columns (floats rejected: their
+// equality semantics make unusable group keys). Requires ResolveFrom.
+func (dp *DataPlan) ResolveGroupBy(cat *catalog.Catalog, stmt *sqlparse.Stmt) error {
+	names := dp.Tables()
 	for _, g := range stmt.GroupBy {
 		t, err := cat.ResolveColumn(g, names)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		col := t.Col(g)
 		if col.Kind == storage.KindFloat {
-			return nil, fmt.Errorf("GROUP BY on float column %q is not supported", g)
+			return fmt.Errorf("GROUP BY on float column %q is not supported", g)
 		}
 		dp.groupBy = append(dp.groupBy, planCol{table: t, col: col})
 	}
+	return nil
+}
+
+// Seal canonicalizes the resolved plan into its cache fingerprint; the
+// plan is complete after this step.
+func (dp *DataPlan) Seal(stmt *sqlparse.Stmt) {
 	dp.Fingerprint = fingerprint(dp, stmt)
-	return dp, nil
 }
 
 // predOwner finds the single table all columns of a predicate belong to.

@@ -51,6 +51,22 @@ func (r *TaskRegistry) Len() int { return len(r.specs) }
 // Keys returns the registered task keys in index order.
 func (r *TaskRegistry) Keys() []string { return r.names }
 
+// Spec returns the i-th task spec; the batch planner uses it to merge
+// per-query registries into one fused-scan union registry.
+func (r *TaskRegistry) Spec(i int) TaskSpec { return r.specs[i] }
+
+// Has reports whether a key is already registered.
+func (r *TaskRegistry) Has(key string) bool {
+	_, ok := r.keys[key]
+	return ok
+}
+
+// Index returns the task index registered under a key.
+func (r *TaskRegistry) Index(key string) (int, bool) {
+	i, ok := r.keys[key]
+	return i, ok
+}
+
 // RunSpecs executes the data plan, builds the registered tasks against
 // the joined row set, and aggregates. The context cancels the scan, join
 // and accumulate loops cooperatively; a nil ctx means Background.

@@ -345,6 +345,95 @@ func (c *Client) queryOnce(ctx context.Context, body []byte) (*Result, error) {
 	}
 }
 
+// QueryBatch runs queries as one server-side batch (POST /v1/batch) in
+// the given mode ("" = share) and returns one fully received result per
+// query, positionally aligned. The server plans the batch's aggregation
+// states together, so overlapping queries share fused scans; results
+// are bit-identical to running the queries sequentially. The batch is
+// all-or-nothing — any query's failure fails the whole call with that
+// query's typed error. Batches are read-only and retried like queries.
+func (c *Client) QueryBatch(ctx context.Context, queries []string, mode string) ([]*Result, error) {
+	body, err := json.Marshal(server.BatchRequest{Queries: queries, Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	var res []*Result
+	err = c.withRetry(ctx, retryQuery, func() error {
+		r, err := c.queryBatchOnce(ctx, body, len(queries))
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	return res, err
+}
+
+// queryBatchOnce performs one batch attempt, demultiplexing the tagged
+// frame stream into per-query results. The stream must deliver every
+// query's end frame; anything less is a torn stream.
+func (c *Client) queryBatchOnce(ctx context.Context, body []byte, n int) ([]*Result, error) {
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/batch", body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, &netError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, server.MaxFrameBytes))
+		var eb server.ErrorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Code != "" {
+			return nil, server.ErrorForCode(eb.Code, eb.Error)
+		}
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	br := bufio.NewReader(resp.Body)
+	results := make([]*Result, n)
+	done := 0
+	for done < n {
+		f, err := server.ReadFrame(br, 0)
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("%w: batch stream ended after %d of %d results",
+					server.ErrTornStream, done, n)
+			}
+			if errors.Is(err, server.ErrTornStream) || errors.Is(err, server.ErrFrameTooLarge) {
+				return nil, err
+			}
+			return nil, &netError{err}
+		}
+		if f.Type == server.FrameError {
+			return nil, server.ErrorForCode(f.Code, f.Error)
+		}
+		if f.Query < 0 || f.Query >= n {
+			return nil, fmt.Errorf("%w: frame for query %d of a %d-query batch",
+				server.ErrTornStream, f.Query, n)
+		}
+		r := results[f.Query]
+		switch f.Type {
+		case server.FrameSchema:
+			results[f.Query] = &Result{Columns: f.Columns}
+		case server.FrameBatch:
+			if r == nil {
+				return nil, fmt.Errorf("%w: batch before schema for query %d",
+					server.ErrTornStream, f.Query)
+			}
+			r.Rows = append(r.Rows, f.Rows...)
+		case server.FrameEnd:
+			if r == nil || r.End != nil {
+				return nil, fmt.Errorf("%w: stray end frame for query %d",
+					server.ErrTornStream, f.Query)
+			}
+			r.End = f
+			done++
+		}
+	}
+	return results, nil
+}
+
 // retryAppend approves retry only for typed shed/drain rejections —
 // the server guarantees those were rejected before execution.
 func retryAppend(err error) bool {

@@ -14,6 +14,7 @@ import (
 // The exported families (all documented in docs/SERVING.md):
 //
 //	sudaf_server_requests_total{kind=...}
+//	sudaf_server_batch_requests_total, sudaf_server_batch_queries_total
 //	sudaf_server_shed_total{reason=...}
 //	sudaf_server_inflight, sudaf_server_queue_depth
 //	sudaf_server_sessions_open, sudaf_server_sessions_opened_total
@@ -36,6 +37,13 @@ func (s *Server) registerMetrics(r *obs.Registry, label string) {
 		"Requests accepted for execution, by kind.", s.queryReqs.Load)
 	r.CounterFunc("sudaf_server_requests_total", with("kind", "append"),
 		"Requests accepted for execution, by kind.", s.appendReqs.Load)
+	r.CounterFunc("sudaf_server_requests_total", with("kind", "batch"),
+		"Requests accepted for execution, by kind.", s.batchReqs.Load)
+	r.CounterFunc("sudaf_server_batch_requests_total", lbl,
+		"Multi-query batches accepted for execution (each holds one server slot).",
+		s.batchReqs.Load)
+	r.CounterFunc("sudaf_server_batch_queries_total", lbl,
+		"Queries submitted inside accepted batches.", s.batchQueries.Load)
 	r.CounterFunc("sudaf_server_shed_total", with("reason", "queue_full"),
 		"Requests shed before execution, by reason: global queue full, per-session cap, server draining.",
 		s.shedQueue.Load)

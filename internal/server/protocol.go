@@ -99,6 +99,11 @@ type QueryStatsWire struct {
 // Frame is one line of a streamed query response.
 type Frame struct {
 	Type string `json:"type"`
+	// Query is the batch index the frame belongs to; single-query
+	// streams leave it zero. A /v1/batch response is each query's
+	// schema (batch)* end sub-stream in batch order, every frame
+	// tagged, terminated early by one error frame for the whole batch.
+	Query int `json:"query,omitempty"`
 	// schema
 	Columns []ColumnSpec `json:"columns,omitempty"`
 	// batch: row-major cells; floats are numbers except NaN/±Inf, which
@@ -129,6 +134,24 @@ type QueryRequest struct {
 	// Session is the session id; optional for plain SQL (sessionless
 	// requests count only against global caps), required for Prepared.
 	// The X-Sudaf-Session header takes precedence.
+	Session string `json:"session,omitempty"`
+	// BatchRows bounds rows per batch frame (0 = server default).
+	BatchRows int `json:"batchRows,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: one multi-query batch
+// submitted for shared planning (Engine.QueryBatch). All queries run
+// under one mode and one catalog snapshot; the batch occupies a single
+// server execution slot.
+type BatchRequest struct {
+	// Queries are the statements, in order; responses tag frames with
+	// each query's index here.
+	Queries []string `json:"queries"`
+	// Mode is "baseline", "rewrite" or "share" (default "share"),
+	// applied to the whole batch.
+	Mode string `json:"mode,omitempty"`
+	// Session is the session id (optional; the X-Sudaf-Session header
+	// takes precedence).
 	Session string `json:"session,omitempty"`
 	// BatchRows bounds rows per batch frame (0 = server default).
 	BatchRows int `json:"batchRows,omitempty"`
@@ -376,6 +399,29 @@ func DecodeQueryRequest(data []byte) (*QueryRequest, error) {
 		return nil, fmt.Errorf("negative batchRows")
 	}
 	return &q, nil
+}
+
+// DecodeBatchRequest parses and validates a batch request body.
+func DecodeBatchRequest(data []byte) (*BatchRequest, error) {
+	var b BatchRequest
+	if err := strictUnmarshal(data, &b); err != nil {
+		return nil, err
+	}
+	if len(b.Queries) == 0 {
+		return nil, fmt.Errorf("empty queries")
+	}
+	for i, q := range b.Queries {
+		if strings.TrimSpace(q) == "" {
+			return nil, fmt.Errorf("query %d is empty", i)
+		}
+	}
+	if _, ok := ModeFromString(b.Mode); !ok {
+		return nil, fmt.Errorf("unknown mode %q", b.Mode)
+	}
+	if b.BatchRows < 0 {
+		return nil, fmt.Errorf("negative batchRows")
+	}
+	return &b, nil
 }
 
 // DecodePrepareRequest parses and validates a prepare request body.

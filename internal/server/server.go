@@ -101,6 +101,8 @@ type Server struct {
 	// Metrics counters (reader-backed; see metrics.go).
 	queryReqs    atomic.Int64
 	appendReqs   atomic.Int64
+	batchReqs    atomic.Int64
+	batchQueries atomic.Int64
 	shedQueue    atomic.Int64
 	shedSession  atomic.Int64
 	shedDraining atomic.Int64
@@ -143,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/session", s.handleSession)
 	mux.HandleFunc("/v1/prepare", s.handlePrepare)
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/append", s.handleAppend)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.Handle("/metrics", reg.Handler())
@@ -472,15 +475,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.streamResult(w, cur)
 }
 
-// streamResult writes the framed response: schema, batches, end. Every
-// frame passes the net.stall fault point first — an injected error
-// truncates the stream mid-flight (the client detects the tear via
-// length framing), a delay stalls it.
-func (s *Server) streamResult(w http.ResponseWriter, cur *core.BatchCursor) {
+// startStream begins an NDJSON response and returns the frame emitter.
+// Every frame passes the net.stall fault point first — an injected
+// error truncates the stream mid-flight (the client detects the tear
+// via length framing), a delay stalls it.
+func startStream(w http.ResponseWriter) func(*Frame) bool {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
-	emit := func(f *Frame) bool {
+	return func(f *Frame) bool {
 		if err := hitNet(faultinject.PointNetStall); err != nil {
 			return false // torn stream: stop without the end frame
 		}
@@ -492,6 +495,11 @@ func (s *Server) streamResult(w http.ResponseWriter, cur *core.BatchCursor) {
 		}
 		return true
 	}
+}
+
+// streamResult writes the framed response: schema, batches, end.
+func (s *Server) streamResult(w http.ResponseWriter, cur *core.BatchCursor) {
+	emit := startStream(w)
 	if !emit(SchemaFrame(cur.Result().Table)) {
 		return
 	}
@@ -505,6 +513,91 @@ func (s *Server) streamResult(w http.ResponseWriter, cur *core.BatchCursor) {
 		return
 	}
 	emit(EndFrame(cur.Result()))
+}
+
+// handleBatch runs one multi-query batch through Engine.QueryBatch: the
+// whole batch occupies a single execution slot (its internal fan-out is
+// the engine's to schedule), and the response is each query's
+// schema/batch/end sub-stream in batch order, every frame tagged with
+// its query index. QueryBatch is all-results-or-one-error, so a failed
+// batch reports one typed error for the lot — over HTTP status when
+// nothing streamed yet, as a single error frame otherwise.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErrorCode(w, CodeBadRequest, "use POST")
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeBatchRequest(body)
+	if err != nil {
+		writeErrorCode(w, CodeBadRequest, err.Error())
+		return
+	}
+	mode, _ := ModeFromString(req.Mode)
+	var ss *session
+	if id := sessionID(r, req.Session); id != "" {
+		ss, ok = s.sessions.get(id)
+		if !ok {
+			writeErrorCode(w, CodeUnknownSession, fmt.Sprintf("no session %q", id))
+			return
+		}
+	}
+
+	if err := s.beginReq(); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.endReq()
+	if ss != nil {
+		if !ss.acquire() {
+			s.shedSession.Add(1)
+			writeError(w, fmt.Errorf("%w: session %s at its concurrency cap", errs.ErrOverloaded, ss.id))
+			return
+		}
+		defer ss.release()
+	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	if err := s.acquireSlot(ctx); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.releaseSlot()
+	s.batchReqs.Add(1)
+	s.batchQueries.Add(int64(len(req.Queries)))
+
+	reqs := make([]core.Request, len(req.Queries))
+	for i, q := range req.Queries {
+		reqs[i] = core.Request{SQL: q, Mode: mode}
+	}
+	results, err := s.eng.QueryBatch(ctx, reqs, mode)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rows := req.BatchRows
+	if rows == 0 {
+		rows = s.cfg.BatchRows
+	}
+	emit := startStream(w)
+	for qi, res := range results {
+		tag := func(f *Frame) *Frame { f.Query = qi; return f }
+		if !emit(tag(SchemaFrame(res.Table))) {
+			return
+		}
+		cur := res.Batches(rows)
+		for cur.Next() {
+			if !emit(tag(BatchFrame(cur.Batch()))) {
+				return
+			}
+		}
+		if !emit(tag(EndFrame(res))) {
+			return
+		}
+	}
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {

@@ -91,6 +91,12 @@ const (
 // and Rows() iterate it incrementally (see BatchCursor, RowIter).
 type Result = core.Result
 
+// Request is one query submission — the statement plus the mode to run
+// it in. Every query entry point reduces to Requests flowing through
+// the engine's single internal submission path; QueryBatch takes a
+// slice of them.
+type Request = core.Request
+
 // BatchCursor iterates a query result in fixed-size column batches; see
 // Engine.QueryBatches.
 type BatchCursor = core.BatchCursor
@@ -131,6 +137,25 @@ type ExplainAggregate = core.ExplainAggregate
 // its cache provenance in Share mode (hit kind, matched state, scalar
 // rewriting, conditions, or miss reason).
 type ExplainState = core.ExplainState
+
+// BatchExplain is the structured result of Engine.BatchExplain: the
+// batch sharing plan — fingerprint groups, fused-scan task unions, and
+// every state's disposition — plus each query's own explanation.
+type BatchExplain = core.BatchExplain
+
+// BatchGroupExplain is one fingerprint group in a BatchExplain: the
+// queries fused into one scan and the task union that scan computes.
+type BatchGroupExplain = core.BatchGroupExplain
+
+// BatchStateExplain is one member state's disposition in a
+// BatchExplain: computed, fused with an identical in-flight state,
+// derived via Theorem 4.1 from an in-flight state, or served by the
+// pre-batch cache.
+type BatchStateExplain = core.BatchStateExplain
+
+// BatchSoloExplain marks a batch query that executes standalone
+// (subqueries, non-aggregate statements), with the reason.
+type BatchSoloExplain = core.BatchSoloExplain
 
 // Trace is a sampled query's span tree, attached to Result.Trace when
 // Options.TraceRate sampled the query. Render it with Tree or JSON.
@@ -293,6 +318,33 @@ func (e *Engine) QueryContext(ctx context.Context, sql string, mode Mode) (*Resu
 // ErrUnknownUDAF, ErrNumericFault, ErrCanceled).
 func (e *Engine) QueryBatches(ctx context.Context, sql string, mode Mode) (*BatchCursor, error) {
 	return e.s.QueryBatches(ctx, sql, mode)
+}
+
+// QueryBatch runs a batch of queries as one submission, sharing work
+// across them: the batch is canonicalized as a whole, aggregation
+// states are unified pairwise via Theorem 4.1 sharing among the
+// in-flight queries (not just against the cache), the surviving states
+// are grouped by data fingerprint, and one fused scan per group
+// computes each group's union — so N overlapping queries cost far fewer
+// than N scans, and in Share mode the state cache warms once per batch.
+//
+// Results align positionally with reqs and are bit-identical to running
+// the same statements sequentially in the same mode. The whole batch
+// runs against one catalog snapshot (one version of the data) and
+// occupies one admission slot; mode governs every query (per-Request
+// modes are ignored). The first failing query aborts the batch: it's
+// all results or one error, wrapped with the failing query's index and
+// sharing QueryContext's sentinel contract.
+func (e *Engine) QueryBatch(ctx context.Context, reqs []Request, mode Mode) ([]*Result, error) {
+	return e.s.QueryBatch(ctx, reqs, mode)
+}
+
+// BatchExplain reports how QueryBatch would execute a batch without
+// executing it: which queries fuse into which scan, which states the
+// in-flight batch derives from each other via Theorem 4.1, and which
+// the cache already serves. Like Explain, it never mutates the engine.
+func (e *Engine) BatchExplain(reqs []Request, mode Mode) (*BatchExplain, error) {
+	return e.s.BatchExplain(reqs, mode)
 }
 
 // AppendResult reports what one append batch did: rows ingested, the
