@@ -43,7 +43,7 @@ var resolveRules = []string{
 }
 
 func TestPipelinePhaseNames(t *testing.T) {
-	want := "[resolve canonicalize share fuse parallelize]"
+	want := "[resolve canonicalize share fuse parallelize distribute]"
 	if got := fmt.Sprint(queryPipeline.PhaseNames()); got != want {
 		t.Fatalf("phases = %s, want %s", got, want)
 	}

@@ -247,9 +247,18 @@ func (s *Session) Append(ctx context.Context, table string, delta *storage.Table
 		res.ViewsMaintained++
 	}
 
+	// Route the delta to its owning shard before publishing: contiguous
+	// ranges mean an append extends only the last shard, whose worker
+	// cache is ⊕-maintained in place; the other shards' slices — and
+	// every partial cached under them — stay valid untouched.
+	if s.shards != nil {
+		s.routeAppend(ctx, old, newTbl, deltaCat)
+	}
+
 	// Publish: from here on, new snapshots pin the new version. In-flight
-	// queries keep the old one; its cache entries are gone (migrated or
-	// invalidated), so at worst they recompute — never read stale state.
+	// queries keep the old one, and keep hitting its epoch-qualified
+	// cache entries (migration copies, never mutates or removes them);
+	// entries invalidated above recompute — never read stale state.
 	if err := s.cat.Register(newTbl); err != nil {
 		return nil, fmt.Errorf("append to %s: publish: %w", table, err)
 	}
@@ -377,8 +386,17 @@ func (s *Session) runDeltaStates(ctx context.Context, dc *catalog.Catalog, stmt 
 
 // migrateEntry delta-maintains one cache entry: computes its states on
 // the delta rows, ⊕-merges them into the snapshot, and installs the
-// result under the post-append fingerprint (retiring the old one). It
-// returns the number of states maintained.
+// result under the post-append fingerprint. It returns the number of
+// states maintained.
+//
+// The superseded entry is deliberately left in place. Fingerprints are
+// epoch-qualified, so it can never serve a query over newer data — but a
+// batch (or any in-flight query) pinned to the pre-append snapshot may
+// still hit it, and must: a maintained entry's ⊕-merged values differ in
+// the last ulp from a cold rescan's fold, so evicting it mid-batch would
+// let two identical queries in one batch disagree bit-for-bit. Later
+// appends skip it (its maintenance record no longer matches) and the LRU
+// reclaims it under budget pressure.
 func (s *Session) migrateEntry(ctx context.Context, c *cache.Cache, snap cache.EntrySnapshot,
 	mr *maintRec, deltaCat, postCat *catalog.Catalog) (int, error) {
 
@@ -400,7 +418,6 @@ func (s *Session) migrateEntry(ctx context.Context, c *cache.Cache, snap cache.E
 		return 0, err
 	}
 	c.Put(merged)
-	c.Remove(snap.Fingerprint)
 	return len(states), nil
 }
 
