@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sudaf/internal/core"
+	"sudaf/internal/storage"
+)
+
+// EncodeResult captures the storage-engine-v2 micro-benchmark: scan
+// throughput aggregating directly over encoded segments (run-folds)
+// versus the dense batch kernels, plus the persistence round-trip
+// (segment files vs CSV, and the warm-cache restart).
+type EncodeResult struct {
+	Rows            int
+	FoldSeconds     float64 // encoded-fold scan, best of 3
+	DenseSeconds    float64 // dense-kernel scan, best of 3
+	SaveSeconds     float64 // Session.Save (segments + cache snapshot)
+	SegLoadSeconds  float64 // full restore from segment files
+	CSVLoadSeconds  float64 // loading the same table from CSV (control)
+	WarmRowsScanned int     // rows scanned by the first post-restart query
+}
+
+// Speedup is the encoded-over-dense scan throughput ratio.
+func (e EncodeResult) Speedup() float64 {
+	if e.FoldSeconds <= 0 {
+		return 0
+	}
+	return e.DenseSeconds / e.FoldSeconds
+}
+
+// encodeTable builds the run-heavy measurement table: qty carries long
+// integral runs (every fold engages), price is high-entropy (folds
+// decline, keeping the dense path honest in the same query plan).
+func encodeTable(rows int, seed int64) *storage.Table {
+	tbl := storage.NewTable("encbench",
+		storage.NewColumn("qty", storage.KindFloat),
+		storage.NewColumn("price", storage.KindFloat))
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for i := 0; i < rows; i++ {
+		tbl.Col("qty").AppendFloat(float64(1 + (i/1024)%7))
+		x = x*2862933555777941757 + 3037000493
+		tbl.Col("price").AppendFloat(float64(x%100000) / 100)
+	}
+	tbl.Seal()
+	return tbl
+}
+
+// Encode runs the storage-v2 experiment: encoded-segment folds vs dense
+// kernels over MilanRowsPG rows, then the persistence round-trip with a
+// warm-cache restart.
+func (r *Runner) Encode() EncodeResult {
+	rows := r.cfg.MilanRowsPG
+	er := EncodeResult{Rows: rows}
+	fmt.Fprintf(r.out, "\n== ENCODE: aggregation over encoded segments + persistent restart, %d rows ==\n", rows)
+
+	s := core.NewSession(core.Options{Workers: 1})
+	must(s.Register(encodeTable(rows, r.cfg.Seed+41)))
+	const q = `SELECT count(), sum(qty), min(qty), max(qty) FROM encbench;`
+	measure := func(folds bool) float64 {
+		s.SetEncodedFolds(folds)
+		best := math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			s.ClearCache()
+			start := time.Now()
+			if _, err := s.Query(q, core.ModeShare); err != nil {
+				panic(fmt.Sprintf("encode bench: %v", err))
+			}
+			if sec := time.Since(start).Seconds(); sec < best {
+				best = sec
+			}
+		}
+		return best
+	}
+	er.DenseSeconds = measure(false)
+	er.FoldSeconds = measure(true)
+	fmt.Fprintf(r.out, "scan     folds=%8.2f Mrows/s  dense=%8.2f Mrows/s  speedup=%5.2fx\n",
+		float64(rows)/er.FoldSeconds/1e6, float64(rows)/er.DenseSeconds/1e6, er.Speedup())
+
+	// Persistence: save, restart, and answer the same query warm.
+	dir, err := os.MkdirTemp("", "sudaf-encode-bench")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	ps := core.NewSession(core.Options{Workers: 1, DataDir: dir})
+	must(ps.Register(encodeTable(rows, r.cfg.Seed+41)))
+	if _, err := ps.Query(q, core.ModeShare); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	if err := ps.Save(); err != nil {
+		panic(err)
+	}
+	er.SaveSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	warm := core.NewSession(core.Options{Workers: 1, DataDir: dir})
+	if err := warm.LoadError(); err != nil {
+		panic(err)
+	}
+	er.SegLoadSeconds = time.Since(start).Seconds()
+	res, err := warm.Query(q, core.ModeShare)
+	if err != nil {
+		panic(err)
+	}
+	er.WarmRowsScanned = res.RowsScanned
+
+	// CSV control: the same table through the text path.
+	csvPath := filepath.Join(dir, "encbench.csv")
+	tbl, err := warm.Catalog().Table("encbench")
+	if err != nil {
+		panic(err)
+	}
+	must(tbl.SaveCSVFile(csvPath))
+	start = time.Now()
+	if _, err := storage.LoadCSVFile("encbench", csvPath); err != nil {
+		panic(err)
+	}
+	er.CSVLoadSeconds = time.Since(start).Seconds()
+
+	fmt.Fprintf(r.out, "persist  save=%.3fs  seg-restore=%.3fs  csv-load=%.3fs (%.1fx)  warm-query rows scanned=%d\n",
+		er.SaveSeconds, er.SegLoadSeconds, er.CSVLoadSeconds,
+		er.CSVLoadSeconds/math.Max(er.SegLoadSeconds, 1e-9), er.WarmRowsScanned)
+	return er
+}

@@ -140,6 +140,13 @@ type Options struct {
 	// terminating functions run once over the merged groups. Results are
 	// bit-identical to an unsharded session. 0 or 1 disables sharding.
 	Shards int
+	// DataDir, when non-empty, is the persistence directory: NewSession
+	// restores every table segment file and the state-cache snapshot
+	// found there (see Session.LoadError for restore problems), and
+	// Session.Save writes the current tables and cache back. Restored
+	// tables keep their epochs, so warm cache entries keep matching
+	// post-restart fingerprints. See persist.go.
+	DataDir string
 }
 
 // EngineStats are session-lifetime aggregate counters, maintained with
@@ -259,6 +266,15 @@ type Session struct {
 	entriesInvalidated atomic.Int64
 	viewsMaintained    atomic.Int64
 	viewsInvalidated   atomic.Int64
+
+	// Persistence (see persist.go): dataDir is Options.DataDir, loadErr
+	// (guarded by mu) joins the restore errors from construction, and the
+	// counters feed the sudaf_storage_* metrics.
+	dataDir              string
+	loadErr              error
+	persistSaves         atomic.Int64
+	persistTablesLoaded  atomic.Int64
+	persistEntriesLoaded atomic.Int64
 }
 
 // NewSession creates a session with the built-in UDAF library registered.
@@ -300,6 +316,14 @@ func NewSession(opts Options) *Session {
 	}
 	s.registerMetrics(opts.MetricsLabel)
 	s.registerBuiltinLibrary()
+	if opts.DataDir != "" {
+		s.dataDir = opts.DataDir
+		if err := s.loadDataDir(); err != nil {
+			s.mu.Lock()
+			s.loadErr = err
+			s.mu.Unlock()
+		}
+	}
 	return s
 }
 
@@ -383,6 +407,17 @@ func (s *Session) NumericPolicySetting() NumericPolicy {
 func (s *Session) SetVectorizedKernels(on bool) {
 	s.eng.SetVectorKernels(on)
 }
+
+// SetEncodedFolds toggles aggregation directly over encoded segments
+// (RLE run-folds; on by default). Off forces every morsel through the
+// dense batch kernels. Results are bit-identical either way — the folds
+// only engage where exactness is provable — so the knob exists for
+// benchmarks and the encoded≡dense differential tests. Safe to toggle
+// while queries run.
+func (s *Session) SetEncodedFolds(on bool) { s.eng.SetEncodedFolds(on) }
+
+// EncodedFolds reports whether encoded-segment folds are enabled.
+func (s *Session) EncodedFolds() bool { return s.eng.EncodedFolds() }
 
 // SetViewRewriting gates Q3→RQ3'-style roll-up rewritings at runtime.
 func (s *Session) SetViewRewriting(on bool) { s.viewRewriting.Store(on) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sudaf/internal/obs"
+	"sudaf/internal/storage"
 )
 
 // registerMetrics installs every session counter into the metrics
@@ -28,6 +29,9 @@ import (
 //	sudaf_shard_scans_total, sudaf_shard_full_hits_total,
 //	sudaf_shard_state_hits_total, sudaf_shard_rows_scanned_total,
 //	sudaf_shard_appends_routed_total, sudaf_shard_entries_maintained_total
+//	sudaf_storage_encoded_segments_total, sudaf_storage_run_folds_total,
+//	sudaf_storage_saves_total, sudaf_storage_tables_loaded_total,
+//	sudaf_storage_cache_entries_loaded_total
 func (s *Session) registerMetrics(label string) {
 	lbl := ""
 	if label != "" {
@@ -131,6 +135,22 @@ func (s *Session) registerMetrics(label string) {
 	r.CounterFunc("sudaf_shard_entries_maintained_total", lbl,
 		"Worker-cache entries ⊕-maintained in place across routed appends.",
 		func() int64 { return s.ShardStats().EntriesMaintained })
+
+	// Storage engine v2: segment encodings, run-folds and persistence.
+	// The first two read process-wide storage counters (encodings are
+	// built by tables, not sessions); the rest are per-session.
+	r.CounterFunc("sudaf_storage_encoded_segments_total", lbl,
+		"Column segments given an acceleration encoding (RLE or FOR) at seal time.",
+		storage.EncodedSegmentsBuilt)
+	r.CounterFunc("sudaf_storage_run_folds_total", lbl,
+		"Morsel aggregation tasks answered by folding encoded runs instead of scanning dense values.",
+		storage.RunFoldsExecuted)
+	r.CounterFunc("sudaf_storage_saves_total", lbl,
+		"Successful Session.Save persistence snapshots.", s.persistSaves.Load)
+	r.CounterFunc("sudaf_storage_tables_loaded_total", lbl,
+		"Tables restored from DataDir segment files at session start.", s.persistTablesLoaded.Load)
+	r.CounterFunc("sudaf_storage_cache_entries_loaded_total", lbl,
+		"State-cache entries restored from the DataDir snapshot at session start.", s.persistEntriesLoaded.Load)
 }
 
 // ServeMetrics starts an HTTP endpoint on addr serving the session's

@@ -571,8 +571,13 @@ func basePositive(cat *catalog.Catalog, base expr.Node, tables []string) bool {
 		if err != nil {
 			return false
 		}
-		min, _ := tbl.Col(t.Name).Stats()
-		return min > 0
+		// StatsFull, not Stats: an empty or all-NaN column reports the
+		// (+Inf, -Inf) sentinels, where min > 0 would wrongly claim
+		// positivity (and a NaN anywhere defeats it regardless of min —
+		// NaN is not positive, and ln-based sharing rewrites would turn
+		// it into a wrong, not-NaN result).
+		min, max, hasNaN := tbl.Col(t.Name).StatsFull()
+		return min > 0 && min <= max && !hasNaN
 	case *expr.Bin:
 		switch t.Op {
 		case '*', '/', '+':

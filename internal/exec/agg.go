@@ -61,6 +61,21 @@ type VectorTask interface {
 	AccumulateVec(vs VecState, p Partial, lo, hi int, gids []int32)
 }
 
+// RunFoldTask is the optional direct-over-encoding extension of
+// VectorTask: a task that can fold the RLE runs of its input column as
+// (value, count) pairs in O(runs) instead of O(rows). FoldRuns is
+// all-or-nothing per morsel and must be *exact*: it either folds rows
+// [lo, hi) into group 0 of p with a result bit-identical to what
+// Accumulate would produce (returning true), or leaves p completely
+// untouched and returns false so the caller runs the dense path. It is
+// only invoked on identity row sets (row i of the morsel IS row i of
+// the column) for keyless aggregates, where every row belongs to the
+// single group 0.
+type RunFoldTask interface {
+	VectorTask
+	FoldRuns(p Partial, lo, hi int) bool
+}
+
 // GroupResult is the output of aggregation: group keys plus one value
 // column per task. KeyColumns are materialized storage columns aligned
 // with Keys, so results can round-trip through the cache without
@@ -168,6 +183,23 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 		}
 	}
 
+	// Direct-over-encoding run folds (storage engine v2): eligible only
+	// for keyless aggregates over an identity row set, where morsel
+	// windows are column row ranges and every row folds into group 0.
+	// The knob snapshot mirrors useVec; per-morsel exactness checks
+	// (RLE coverage, the 2^53 integral guards) live in FoldRuns itself.
+	var foldTasks []RunFoldTask
+	if useVec && !e.disableFold.Load() && rs.identity && len(dp.groupBy) == 0 {
+		for t, task := range tasks {
+			if ft, ok := task.(RunFoldTask); ok && vecTasks[t] != nil {
+				if foldTasks == nil {
+					foldTasks = make([]RunFoldTask, len(tasks))
+				}
+				foldTasks[t] = ft
+			}
+		}
+	}
+
 	// Dense group-id assignment: when the key columns span a small integer
 	// domain (int columns via their cached min/max stats, string columns
 	// via their dictionary size), group ids come from an array lookup
@@ -214,6 +246,10 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 		}
 		dense := denseKeys{lookup: lookup, base0: denseBase0, base1: denseBase1, width1: denseWidth1,
 			ints: denseInts, codes: denseCodes, rows: denseRows}
+		var foldMask []bool
+		if foldTasks != nil {
+			foldMask = make([]bool, len(tasks))
+		}
 		for !abort.Load() {
 			m := int(cursor.Add(1)) - 1
 			if m >= nMorsels {
@@ -221,7 +257,7 @@ func (e *Engine) aggregate(ctx context.Context, dp *DataPlan, rs *RowSet, tasks 
 			}
 			la := &localAgg{index: map[GroupKey]int32{}, partials: make([]Partial, len(tasks))}
 			locals[m] = la
-			la.err = e.runMorsel(ctx, rs, tasks, vecTasks, vecStates, keyFns, packable, dense, m, gids, la.index, &la.keys, la.partials)
+			la.err = e.runMorsel(ctx, rs, tasks, vecTasks, vecStates, foldTasks, foldMask, keyFns, packable, dense, m, gids, la.index, &la.keys, la.partials)
 			if la.err != nil {
 				abort.Store(true)
 				return
@@ -358,6 +394,14 @@ func keyDomainOf(col *storage.Column) keyDomain {
 		if math.IsInf(min, 0) || math.IsInf(max, 0) || math.IsNaN(min) || math.IsNaN(max) {
 			return keyDomain{}
 		}
+		// Beyond 2^53 the float stats are rounded, so int64(min) could
+		// disagree with the true minimum and the width arithmetic below
+		// could wrap — either would send lookup[k-base] out of range.
+		// Bound the span in float space first (exact within ±2^53).
+		if min < -float64(1<<53) || max > float64(1<<53) ||
+			max-min+1 > float64(maxDenseKeyWidth) {
+			return keyDomain{}
+		}
 		w := int64(max) - int64(min) + 1
 		if w > 0 && w <= maxDenseKeyWidth {
 			return keyDomain{base: int64(min), width: w, dense: true}
@@ -390,6 +434,7 @@ type denseKeys struct {
 // morsel. Panics from task code are recovered into the returned error.
 func (e *Engine) runMorsel(ctx context.Context, rs *RowSet, tasks []Task,
 	vecTasks []VectorTask, vecStates []VecState,
+	foldTasks []RunFoldTask, foldMask []bool,
 	keyFns []func(int32) int64, packable bool, dense denseKeys, m int, gids []int32,
 	index map[GroupKey]int32, keys *[]GroupKey, partials []Partial) (err error) {
 
@@ -538,6 +583,33 @@ func (e *Engine) runMorsel(ctx context.Context, rs *RowSet, tasks []Task,
 			}
 		}
 	}
+	// Run-fold fast path: each fold-capable task gets one shot at the
+	// whole morsel. A task that folds (exactly, into group 0 — the
+	// caller only enables folds for keyless identity scans) skips the
+	// batch loop below; a declined fold costs nothing and falls through
+	// to the dense path. When every task folds, the batch loop vanishes
+	// and the morsel is aggregated in O(runs).
+	remaining := len(tasks)
+	if foldTasks != nil {
+		for t := range foldMask {
+			foldMask[t] = false
+		}
+		for t, ft := range foldTasks {
+			if ft == nil {
+				continue
+			}
+			if partials[t] == nil {
+				partials[t] = tasks[t].NewPartial(len(*keys))
+			}
+			if ft.FoldRuns(partials[t], lo, hi) {
+				foldMask[t] = true
+				remaining--
+			}
+		}
+	}
+	if remaining == 0 {
+		return nil
+	}
 	for blo := lo; blo < hi; blo += BatchSize {
 		// Cooperative cancellation at batch granularity.
 		if err := ctx.Err(); err != nil {
@@ -551,6 +623,9 @@ func (e *Engine) runMorsel(ctx context.Context, rs *RowSet, tasks []Task,
 		assignBlock(blo, bhi, bg)
 		ng := len(*keys)
 		for t, task := range tasks {
+			if foldTasks != nil && foldMask[t] {
+				continue
+			}
 			if partials[t] == nil {
 				partials[t] = task.NewPartial(ng)
 			} else {

@@ -31,6 +31,12 @@ type Engine struct {
 	// identical either way, only throughput differs. Atomic so the knob
 	// can be flipped while queries are in flight.
 	disableVec atomic.Bool
+	// disableFold turns off the direct-over-encoding run-folds (storage
+	// engine v2): aggregation then always decodes through the dense
+	// path. Results are bit-identical either way — the fold guards
+	// guarantee exactness — only throughput differs. Atomic for the same
+	// reason as disableVec.
+	disableFold atomic.Bool
 	// sem holds Workers-1 helper tokens shared across all concurrent
 	// aggregations: each query's calling goroutine always participates
 	// as a worker (guaranteeing progress without a token), and extra
@@ -52,6 +58,14 @@ func (e *Engine) SetVectorKernels(on bool) { e.disableVec.Store(!on) }
 
 // VectorKernels reports whether the batch kernels are enabled.
 func (e *Engine) VectorKernels() bool { return !e.disableVec.Load() }
+
+// SetEncodedFolds toggles aggregation directly over encoded segments
+// (on by default). Safe to call while queries run; each query snapshots
+// the knob once.
+func (e *Engine) SetEncodedFolds(on bool) { e.disableFold.Store(!on) }
+
+// EncodedFolds reports whether direct-over-encoding folds are enabled.
+func (e *Engine) EncodedFolds() bool { return !e.disableFold.Load() }
 
 // joinCond is an equi-join between two table columns.
 type joinCond struct {

@@ -17,6 +17,11 @@ type RowSet struct {
 	n      int
 	tables []*storage.Table
 	vecs   map[string][]int32
+	// identity marks a single-table, unfiltered row set: vecs[t][i] == i
+	// for every row, so morsel windows map 1:1 onto column row ranges.
+	// This is the precondition for aggregating directly over encoded
+	// segments (run-folds) instead of through the indirection vector.
+	identity bool
 }
 
 // Len returns the joined row count.
@@ -63,7 +68,10 @@ func (dp *DataPlan) buildRowSet(ctx context.Context) (*RowSet, error) {
 	if len(dp.tables) == 1 {
 		t := dp.tables[0]
 		return &RowSet{n: len(sels[t.Name]), tables: dp.tables,
-			vecs: map[string][]int32{t.Name: sels[t.Name]}}, nil
+			vecs: map[string][]int32{t.Name: sels[t.Name]},
+			// selection() returns the identity vector [0..n) exactly when
+			// there is no WHERE predicate on the table.
+			identity: dp.filters[t.Name] == nil}, nil
 	}
 
 	// Start from the largest filtered table (the fact table) and fold the

@@ -299,6 +299,146 @@ func (t *StateTask) AccumulateVec(vsi VecState, p Partial, lo, hi int, gids []in
 	}
 }
 
+// maxExactFold bounds the magnitude budget of a run-fold: every partial
+// sum (or product) the dense path would compute must be an exact
+// integer, which holds comfortably below 2^52 (float64 represents all
+// integers up to 2^53 exactly; the extra bit is margin for the
+// float-arithmetic guard computations themselves).
+const maxExactFold = float64(1 << 52)
+
+// ipow computes v^n by binary exponentiation with float64 multiplies.
+// Under the fold guards every intermediate is an exact integer, so the
+// result equals what n-1 sequential multiplications produce — including
+// signed-zero parity, which plain math.Pow does not guarantee bitwise.
+func ipow(v float64, n int) float64 {
+	r := 1.0
+	for n > 0 {
+		if n&1 == 1 {
+			r *= v
+		}
+		v *= v
+		n >>= 1
+	}
+	return r
+}
+
+// FoldRuns implements RunFoldTask: it folds the RLE runs of the state's
+// input column directly into group 0 of p, in O(runs). The caller
+// guarantees an identity row set (column row i IS morsel row i) and a
+// single group. Exactness contract: the fold only proceeds when its
+// result is provably bit-identical to the dense scan —
+//
+//   - count: always (integer increments below 2^53);
+//   - min/max: always (runs are bitwise-constant, so applying each run
+//     value once visits the same distinct values in the same order,
+//     including NaN poisoning);
+//   - sum/sum-pow: only when every covered value is an exact integer
+//     and maxAbs^pow × rows stays under 2^52, making every partial sum
+//     on both paths an exact — and therefore association-independent —
+//     integer;
+//   - prod: only when the running product provably stays an exact
+//     integer (constant/0/±1-heavy segments in practice);
+//   - everything else (SumMul, Generic): never, dense path.
+func (t *StateTask) FoldRuns(p Partial, lo, hi int) bool {
+	if !t.vecOK || hi <= lo {
+		return false
+	}
+	a := p.(*floatsPartial).arrs[0]
+	if t.plan.Class == canonical.KernelCount {
+		a[0] += float64(hi - lo)
+		storage.CountRunFolds(1)
+		return true
+	}
+	switch t.plan.Class {
+	case canonical.KernelSumCol, canonical.KernelSumPow, canonical.KernelProdCol,
+		canonical.KernelMinCol, canonical.KernelMaxCol:
+	default:
+		return false
+	}
+	maxAbs, integral, ok := t.col.RunCoverage(lo, hi)
+	if !ok {
+		return false
+	}
+	n := hi - lo
+	folds := int64(0)
+	switch t.plan.Class {
+	case canonical.KernelSumCol:
+		if !integral || maxAbs*float64(n) >= maxExactFold {
+			return false
+		}
+		sum := 0.0
+		t.col.ForEachRun(lo, hi, func(v float64, c int) {
+			sum += v * float64(c)
+			folds++
+		})
+		a[0] += sum
+	case canonical.KernelSumPow:
+		pw := math.Pow(maxAbs, float64(t.plan.Pow))
+		if !integral || pw*float64(n) >= maxExactFold {
+			return false
+		}
+		sum := 0.0
+		pow := t.plan.Pow
+		t.col.ForEachRun(lo, hi, func(v float64, c int) {
+			var pv float64
+			switch pow {
+			case 2:
+				pv = v * v
+			case 3:
+				pv = v * v * v
+			default:
+				pv = math.Pow(v, float64(pow)) // matches the dense kernel
+			}
+			sum += pv * float64(c)
+			folds++
+		})
+		a[0] += sum
+	case canonical.KernelProdCol:
+		if !integral {
+			return false
+		}
+		// The running product must stay an exact integer on both paths:
+		// bound it by the product of per-run |v|^count (math.Pow may
+		// under-round by an ulp, hence the 2^51 margin below 2^52).
+		bound := 1.0
+		exact := true
+		t.col.ForEachRun(lo, hi, func(v float64, c int) {
+			av := math.Abs(v)
+			if av > 1 {
+				bound *= math.Pow(av, float64(c))
+			}
+			if bound >= maxExactFold/2 || math.IsInf(bound, 0) {
+				exact = false
+			}
+		})
+		if !exact {
+			return false
+		}
+		prod := 1.0
+		t.col.ForEachRun(lo, hi, func(v float64, c int) {
+			prod *= ipow(v, c)
+			folds++
+		})
+		a[0] *= prod
+	case canonical.KernelMinCol:
+		t.col.ForEachRun(lo, hi, func(v float64, c int) {
+			if v < a[0] || v != v {
+				a[0] = v
+			}
+			folds++
+		})
+	case canonical.KernelMaxCol:
+		t.col.ForEachRun(lo, hi, func(v float64, c int) {
+			if v > a[0] || v != v {
+				a[0] = v
+			}
+			folds++
+		})
+	}
+	storage.CountRunFolds(folds)
+	return true
+}
+
 func (t *StateTask) fill() float64 { return t.State.MergeIdentity() }
 
 func (t *StateTask) NewPartial(n int) Partial { return newFloats(n, t.fill()) }

@@ -77,12 +77,20 @@ type Column struct {
 	// Renamed) never own a tail.
 	ownsTail bool
 
-	// Cached (min, max), invalidated whenever Len() changes (statsLen is
-	// the length the stats were computed at). Guarded by statsMu.
+	// Cached (min, max, hasNaN), invalidated whenever Len() changes
+	// (statsLen is the length the stats were computed at). Guarded by
+	// statsMu.
 	statsMu          sync.Mutex
 	statsOK          bool
 	statsLen         int
 	statMin, statMax float64
+	statNaN          bool
+
+	// encs are per-segment acceleration encodings over the dense arrays
+	// (RLE runs, FOR bit-packing), built when the owning table seals a
+	// segment. Immutable once built; views carry the subset fully inside
+	// their window. See encoding.go.
+	encs []EncSeg
 }
 
 // NewColumn creates an empty column.
@@ -189,11 +197,52 @@ func (c *Column) ValueString(i int) string {
 	}
 }
 
+// formatFloat renders a float64 for human display: integral values
+// print without an exponent, negative zero keeps its sign (the integer
+// fast path would print it as "0"), and everything else is rounded to
+// six significant digits. Persistence paths that must round-trip every
+// bit use formatFloatExact instead.
 func formatFloat(v float64) string {
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		if v == 0 && math.Signbit(v) {
+			return "-0"
+		}
 		return strconv.FormatInt(int64(v), 10)
 	}
 	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// formatFloatExact renders a float64 so that strconv.ParseFloat reads
+// back the identical bit pattern: NaN and ±Inf spell the forms
+// ParseFloat accepts, negative zero keeps its sign, and everything else
+// uses the shortest round-trippable decimal form.
+func formatFloatExact(v float64) string {
+	if v != v {
+		return "NaN"
+	}
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		if v == 0 && math.Signbit(v) {
+			return "-0"
+		}
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// csvString renders the value at row i for the CSV writer. Unlike the
+// display form it is full-precision, so a WriteCSV/LoadCSV round trip
+// reproduces every float bit-for-bit.
+func (c *Column) csvString(i int) string {
+	if c.Kind == KindFloat {
+		return formatFloatExact(c.F[i])
+	}
+	return c.ValueString(i)
 }
 
 // GatherFloats writes the values of rows rows[lo:hi] into out[:hi-lo],
@@ -238,6 +287,7 @@ func (c *Column) Slice(lo, hi int) *Column {
 		n.dict = c.dict[:len(c.dict):len(c.dict)]
 		n.index = c.index
 	}
+	n.encs = sliceEncs(c.encs, lo, hi)
 	return n
 }
 
@@ -255,6 +305,7 @@ func (c *Column) Renamed(name string) *Column {
 	if c.index != nil {
 		n.index = c.index
 	}
+	n.encs = sliceEncs(c.encs, 0, c.Len())
 	return n
 }
 
@@ -262,20 +313,36 @@ func (c *Column) Renamed(name string) *Column {
 // append-aware: it is recomputed whenever the column's length no longer
 // matches the length it was computed at, so stats can never go stale
 // across in-place appends (sealed versions are immutable, so for them the
-// scan runs once). An empty numeric column reports (+Inf, -Inf); callers
-// deriving integer domains from stats must guard for that (see
-// exec.keyDomainOf). String columns return (0, 0).
+// scan runs once). An empty or all-NaN numeric column reports
+// (+Inf, -Inf); callers deriving integer domains or sign facts from
+// stats must guard for that — use StatsFull when NaN presence matters
+// (see exec.keyDomainOf and the engine's positivity check). String
+// columns return (0, 0).
 func (c *Column) Stats() (min, max float64) {
+	min, max, _ = c.StatsFull()
+	return min, max
+}
+
+// StatsFull returns the cached (min, max) plus whether the column holds
+// any NaN value. NaN values are excluded from min/max (they compare
+// false against everything), so an all-NaN column reports the same
+// (+Inf, -Inf) sentinels as an empty one — hasNaN is how callers tell
+// "no values" apart from "no ordered values".
+func (c *Column) StatsFull() (min, max float64, hasNaN bool) {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
 	n := c.Len()
 	if c.statsOK && c.statsLen == n {
-		return c.statMin, c.statMax
+		return c.statMin, c.statMax, c.statNaN
 	}
-	c.statMin, c.statMax = math.Inf(1), math.Inf(-1)
+	c.statMin, c.statMax, c.statNaN = math.Inf(1), math.Inf(-1), false
 	switch c.Kind {
 	case KindFloat:
 		for _, v := range c.F {
+			if v != v {
+				c.statNaN = true
+				continue
+			}
 			if v < c.statMin {
 				c.statMin = v
 			}
@@ -297,7 +364,7 @@ func (c *Column) Stats() (min, max float64) {
 		c.statMin, c.statMax = 0, 0
 	}
 	c.statsOK, c.statsLen = true, n
-	return c.statMin, c.statMax
+	return c.statMin, c.statMax, c.statNaN
 }
 
 // Table is a named collection of equal-length columns.
@@ -473,6 +540,20 @@ var epochCounter atomic.Int64
 // monotonically increasing, never 0).
 func NextEpoch() int64 { return epochCounter.Add(1) }
 
+// EnsureEpochAtLeast raises the global epoch counter to at least e.
+// The persistence layer calls it when reloading tables that keep their
+// saved epochs, so future NextEpoch values can never collide with a
+// restored version (cache fingerprints embed epochs and must stay
+// unique per data version).
+func EnsureEpochAtLeast(e int64) {
+	for {
+		cur := epochCounter.Load()
+		if cur >= e || epochCounter.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
 // Seal marks every column immutable: rows [0, NumRows()) can no longer
 // change and in-place Append* panic. Growth after sealing goes through
 // AppendRows, which builds a new version. Called by catalog registration;
@@ -485,6 +566,13 @@ func (t *Table) Seal() {
 		}
 		if len(t.Segments) == 0 {
 			t.Segments = []int{t.NumRows()}
+		}
+		// Encode the freshly sealed segments (a cheap stats pass per
+		// segment; see encoding.go). Runs before the table becomes
+		// visible to queries — registration publishes after Seal — so
+		// readers only ever observe a fully built encoding list.
+		for _, c := range t.Cols {
+			c.buildEncodings(t.Segments)
 		}
 	})
 }
@@ -537,6 +625,11 @@ func (t *Table) AppendRows(delta *Table) (*Table, error) {
 func (c *Column) appendVersion(d *Column) *Column {
 	n := NewColumn(c.Name, c.Kind)
 	n.sealed, n.ownsTail = true, true
+	// Prefix encodings carry over unchanged (same coordinates; the
+	// encodings are immutable). Capacity-capped so the successor's own
+	// tail encoding never grows into a shared array. The new tail
+	// segment is encoded when the successor table seals.
+	n.encs = c.encs[:len(c.encs):len(c.encs)]
 	switch c.Kind {
 	case KindFloat:
 		n.F = appendTail(c.F, d.F, c.ownsTail)
@@ -616,7 +709,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	row := make([]string, len(t.Cols))
 	for i := 0; i < t.NumRows(); i++ {
 		for j, c := range t.Cols {
-			row[j] = c.ValueString(i)
+			row[j] = c.csvString(i)
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -422,6 +422,23 @@ func (e *Engine) SetNumericPolicy(p NumericPolicy) { e.s.SetNumericPolicy(p) }
 // tests.
 func (e *Engine) SetVectorizedKernels(on bool) { e.s.SetVectorizedKernels(on) }
 
+// SetEncodedFolds toggles aggregation directly over encoded segments
+// (RLE run-folds; on by default). Results are bit-identical either way;
+// the knob exists for benchmarks and differential tests.
+func (e *Engine) SetEncodedFolds(on bool) { e.s.SetEncodedFolds(on) }
+
+// Save persists every registered table (as encoded segment files) and
+// the state cache to Options.DataDir, so a future Open against the same
+// directory restores the catalog and answers Share-mode queries from
+// warm cached states without rescanning base rows. Errors when DataDir
+// was not configured.
+func (e *Engine) Save() error { return e.s.Save() }
+
+// LoadError returns the joined errors from restoring Options.DataDir at
+// Open, or nil. Restoration is best-effort: corrupt files are skipped
+// and reported here while everything readable is loaded.
+func (e *Engine) LoadError() error { return e.s.LoadError() }
+
 // RewriteSQL renders the SUDAF rewriting of a query as SQL text — the
 // partial-aggregate derived-table form (RQ1/RQ2 in the paper) that SUDAF
 // would send to an underlying system.
