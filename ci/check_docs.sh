@@ -42,12 +42,35 @@ if [ -e .docs-link-failed ]; then
   fail=1
 fi
 
+echo "== README reachability =="
+# Every doc under docs/ must be linked (or at least named) from the
+# README — an unreferenced doc is invisible to readers and rots.
+for md in docs/*.md; do
+  [ -f "$md" ] || continue
+  if ! grep -q "$md" README.md; then
+    err "README.md never references $md"
+  fi
+done
+
+echo "== DESIGN.md section contiguity =="
+# Numbered sections must run 1..N without gaps or duplicates, so PRs
+# appending sections cannot silently collide or skip numbers.
+want=1
+for n in $(grep -oE '^## [0-9]+' DESIGN.md | awk '{print $2}'); do
+  if [ "$n" -ne "$want" ]; then
+    err "DESIGN.md sections are not contiguous: expected §$want, found §$n"
+    want=$((n + 1))
+  else
+    want=$((want + 1))
+  fi
+done
+
 echo "== doc-referenced identifiers =="
 # Backticked dotted references like `Engine.ServeMetrics`,
 # `Options.TraceRate`, `Result.Trace` or `sudaf.Open` in user-facing docs
 # must name identifiers that exist in the Go sources, so the docs cannot
 # drift silently when the API changes.
-docs="README.md docs/OBSERVABILITY.md docs/SERVING.md"
+docs="README.md docs/OBSERVABILITY.md docs/SERVING.md docs/WINDOWS.md"
 refs=$(grep -ohE '`(sudaf|Engine|Options|Result|Trace|Span|Explain|AppendResult|Server|Client|Config)\.[A-Z][A-Za-z]*' $docs | tr -d '`' | sort -u || true)
 for ref in $refs; do
   ident=${ref#*.}
@@ -58,10 +81,10 @@ done
 
 # Metric families documented in OBSERVABILITY.md must be registered in
 # the source, and vice versa.
-doc_metrics=$(grep -ohE 'sudaf_[a-z_]+_(total|seconds)' docs/OBSERVABILITY.md | sort -u)
+doc_metrics=$(grep -ohE 'sudaf_[a-z_]+_(total|seconds)' docs/OBSERVABILITY.md docs/WINDOWS.md | sort -u)
 for m in $doc_metrics; do
   if ! grep -qr --include='*.go' "\"$m\"" internal/; then
-    err "docs/OBSERVABILITY.md documents metric $m but no source registers it"
+    err "docs documents metric $m but no source registers it"
   fi
 done
 src_metrics=$(grep -ohE '"sudaf_[a-z_]+_(total|seconds)"' internal/core/metrics.go | tr -d '"' | sort -u)
@@ -75,7 +98,7 @@ done
 # in docs/SERVING.md must be registered, and every registered family
 # must be documented there. Server families include plain gauges, so
 # the pattern is not limited to the _total/_seconds suffixes.
-doc_srv=$(grep -ohE 'sudaf_server_[a-z_]+' docs/SERVING.md | sort -u)
+doc_srv=$(grep -ohE 'sudaf_server_[a-z_]+' docs/SERVING.md docs/WINDOWS.md | sort -u)
 for m in $doc_srv; do
   if ! grep -qr --include='*.go' "\"$m\"" internal/server/; then
     err "docs/SERVING.md documents metric $m but internal/server does not register it"

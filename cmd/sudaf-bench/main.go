@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exps       = flag.String("exp", "all", "comma-separated experiments: table1,space,fig1,fig2,fig6,fig7,fig8,fig9,fig10,batch,kernel,concurrent,ingest,shard,encode,all")
+		exps       = flag.String("exp", "all", "comma-separated experiments: table1,space,fig1,fig2,fig6,fig7,fig8,fig9,fig10,batch,kernel,concurrent,ingest,shard,encode,window,all")
 		pgScale    = flag.Int("pg-scale", 2, "TPC-DS scale for serial (PostgreSQL-mode) runs")
 		sparkScale = flag.Int("spark-scale", 4, "TPC-DS scale for parallel (Spark-mode) runs")
 		milanPG    = flag.Int("milan-pg", 4_000_000, "Milan rows for serial runs")
@@ -108,6 +108,9 @@ func main() {
 	}
 	if all || want["encode"] {
 		r.Encode()
+	}
+	if all || want["window"] {
+		r.Window()
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -9,12 +9,15 @@
 //
 //	\udaf <name> <params> <expression>   define a UDAF, e.g.
 //	                                     \udaf qm x sqrt(sum(x^2)/count())
+//	\udafs                               list defined UDAFs
 //	\mode baseline|rewrite|share         switch execution mode
 //	\explain <name>                      show a UDAF's canonical form
+//	\rewrite <sql>                       print the RQ-rewritten SQL
 //	\views                               list materialized views
 //	\materialize <name> <sql>            create a state view
 //	\cache                               show cache statistics
 //	\shards                              show scatter-gather shard statistics
+//	\save                                persist tables + state cache to -data-dir
 //	\space                               dump the symbolic sharing space
 //	\tables                              list tables
 //	\demo                                load a small demo dataset
@@ -24,6 +27,11 @@
 // `EXPLAIN <query>` is not executed: it prints the canonical
 // decomposition, the RQ rewriting, and (in share mode) the sharing
 // provenance of every aggregation state against the live cache.
+// Windowed statements attach OVER to one aggregate call; its frame
+// governs the whole statement (docs/WINDOWS.md):
+//
+//	SELECT sum(price) OVER (ROWS 9 PRECEDING), avg(price) FROM sales
+//	SELECT qm(price) OVER (ROWS 1000 TUMBLING) FROM sales
 package main
 
 import (
@@ -55,6 +63,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = none), e.g. 30s")
 	numeric := flag.String("numeric", "permissive", "numeric fault policy: strict|permissive")
 	skipBad := flag.Bool("skip-bad-rows", false, "skip and count malformed CSV rows instead of failing the load")
+	dataDir := flag.String("data-dir", "", "persistence directory: restore tables + state cache at start, \\save writes them back")
 	flag.Var(&loads, "load", "name=path.csv (repeatable)")
 	flag.Parse()
 
@@ -68,7 +77,17 @@ func main() {
 		fatal("bad -numeric %q, want strict or permissive", *numeric)
 	}
 
-	eng := sudaf.Open(sudaf.Options{Workers: *workers, Shards: *shards, QueryTimeout: *timeout, Numeric: pol})
+	eng := sudaf.Open(sudaf.Options{Workers: *workers, Shards: *shards,
+		QueryTimeout: *timeout, Numeric: pol, DataDir: *dataDir})
+	if *dataDir != "" {
+		if err := eng.LoadError(); err != nil {
+			fmt.Printf("note: partial restore from %s: %v\n", *dataDir, err)
+		}
+		if names := eng.TableNames(); len(names) > 0 {
+			fmt.Printf("restored %d table(s) from %s: %s\n",
+				len(names), *dataDir, strings.Join(names, ", "))
+		}
+	}
 	for _, spec := range loads {
 		parts := strings.SplitN(spec, "=", 2)
 		if len(parts) != 2 {
@@ -238,6 +257,16 @@ func runCommand(eng *sudaf.Engine, line string, mode *sudaf.Mode) (quit bool) {
 			return
 		}
 		fmt.Println(out)
+	case "\\save":
+		if err := eng.Save(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("saved tables + state cache (run with -data-dir to pick the directory)")
+		}
+	case "\\tables":
+		fmt.Println(strings.Join(eng.TableNames(), ", "))
+	case "\\views":
+		fmt.Println(strings.Join(eng.ViewNames(), ", "))
 	case "\\space":
 		fmt.Print(eng.SymbolicSpaceDump())
 	case "\\udafs":

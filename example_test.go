@@ -103,6 +103,57 @@ func ExampleEngine_Append() {
 	// 1	9
 }
 
+func ExampleEngine_Query_windowed() {
+	eng := salesEngine()
+	// OVER attaches to one aggregate call and its frame governs the whole
+	// statement: one output row per frame, partial frames at the start.
+	res, err := eng.Query("SELECT sum(price) OVER (ROWS 1 PRECEDING) AS s FROM sales", sudaf.Share)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+	// Output:
+	// s
+	// 2
+	// 10
+	// 11
+	// 30
+}
+
+func ExampleEngine_Subscribe() {
+	eng := salesEngine()
+	// A tumbling subscription first emits the complete buckets already in
+	// the table, then one emission per completed bucket as appends land.
+	sub, err := eng.Subscribe(context.Background(),
+		"SELECT sum(price) OVER (ROWS 2 TUMBLING) AS s FROM sales", sudaf.Share)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	emit := func() {
+		wr := <-sub.Results()
+		fmt.Printf("seq %d rows [%d,%d]: %s\n",
+			wr.Seq, wr.FirstRow, wr.LastRow, wr.Table.Cols[0].ValueString(0))
+	}
+	emit() // snapshot bucket {2, 8}
+	emit() // snapshot bucket {3, 27}
+	delta := sudaf.NewTable("sales",
+		sudaf.NewColumn("region", sudaf.Int),
+		sudaf.NewColumn("price", sudaf.Float))
+	for _, p := range []float64{5, 15} {
+		delta.Col("region").AppendInt(2)
+		delta.Col("price").AppendFloat(p)
+	}
+	if _, err := eng.Append(context.Background(), "sales", delta); err != nil {
+		log.Fatal(err)
+	}
+	emit() // appended bucket {5, 15}
+	// Output:
+	// seq 1 rows [0,1]: 10
+	// seq 2 rows [2,3]: 30
+	// seq 3 rows [4,5]: 20
+}
+
 func ExampleEngine_Explain() {
 	eng := salesEngine()
 	// Run once in share mode so the cache holds gm's states, then explain

@@ -117,6 +117,10 @@ func (s *Session) Close(ctx context.Context) error {
 		// measured from when the close began.
 		s.life.drainNanos.CompareAndSwap(0,
 			time.Now().UnixNano()-s.life.closeStart.Load())
+		// Continuous subscriptions are long-lived, not in-flight ops, so
+		// the drain above does not cover them: shut them down after it
+		// (idempotent — racing closers and user Close calls are fine).
+		s.closeSubscriptions()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("engine close: drain incomplete: %w", ctx.Err())

@@ -267,6 +267,21 @@ type Session struct {
 	viewsMaintained    atomic.Int64
 	viewsInvalidated   atomic.Int64
 
+	// Continuous windowed subscriptions (see subscribe.go). subMu guards
+	// the registry; notifySubs runs under ingestMu, so queued notes
+	// arrive in append order (the FIFO half of the delivery contract).
+	subMu  sync.Mutex
+	subs   map[int64]*Subscription
+	subSeq int64
+
+	// Windowed-query counters (the sudaf_window_* metric family).
+	windowQueries       atomic.Int64
+	windowEmits         atomic.Int64
+	windowRowsEvicted   atomic.Int64
+	windowFastFolds     atomic.Int64
+	windowRefolds       atomic.Int64
+	windowSubscriptions atomic.Int64
+
 	// Persistence (see persist.go): dataDir is Options.DataDir, loadErr
 	// (guarded by mu) joins the restore errors from construction, and the
 	// counters feed the sudaf_storage_* metrics.

@@ -37,12 +37,33 @@ type Explain struct {
 	States []ExplainState
 	// Rewritten is the RQ1/RQ2 SQL rewriting (empty in baseline mode).
 	Rewritten string
+	// Window is the OVER-clause provenance for windowed statements: the
+	// frame shape and the window-qualified fingerprint its per-emission
+	// partials are cached under. Nil for non-windowed queries.
+	Window *ExplainWindow
 	// Shards is the per-shard scatter provenance on a sharded engine
 	// (Options.Shards > 1): one entry per shard worker, with its slice
 	// fingerprint and — in share mode — its private cache's probed
 	// outcome for every state. Empty on unsharded engines and in
 	// baseline mode (which never distributes).
 	Shards []ExplainShard
+}
+
+// ExplainWindow is a windowed statement's frame provenance.
+type ExplainWindow struct {
+	// Frame is the OVER clause as written, e.g. "ROWS 9 PRECEDING".
+	Frame string
+	// Unit is "ROWS" or "EPOCHS"; N the frame parameter; Sliding whether
+	// the frame slides per row/epoch (PRECEDING) or tumbles; Size the
+	// row/epoch capacity of one frame.
+	Unit    string
+	N       int
+	Sliding bool
+	Size    int
+	// Fingerprint is the window-qualified cache key namespace
+	// (data fingerprint + "|W[frame]") the per-emission state vectors
+	// live under in share mode.
+	Fingerprint string
 }
 
 // ExplainShard is one shard worker's scatter provenance.
@@ -150,6 +171,21 @@ func (s *Session) ExplainQuery(sql string, mode Mode) (*Explain, error) {
 	for _, t := range info.Tables {
 		ex.Tables = append(ex.Tables, fmt.Sprintf("%s@%d", t, epochs[t]))
 	}
+	// Windowed statements cache per-emission state vectors under the
+	// window-qualified fingerprint, so that is where probes must look.
+	probeFP := dp.Fingerprint
+	if spec := stmt.Window; spec != nil {
+		wfp := dp.Fingerprint + "|W[" + spec.String() + "]"
+		ex.Window = &ExplainWindow{
+			Frame:       spec.String(),
+			Unit:        spec.Unit.String(),
+			N:           spec.N,
+			Sliding:     spec.Sliding,
+			Size:        spec.Size(),
+			Fingerprint: wfp,
+		}
+		probeFP = wfp
+	}
 	var ftabs []string
 	for t := range info.Filters {
 		ftabs = append(ftabs, t)
@@ -205,7 +241,7 @@ func (s *Session) ExplainQuery(sql string, mode Mode) (*Explain, error) {
 				positive := basePositive(qc.cat, bs.Base, dp.Tables())
 				es := ExplainState{Index: idx, Key: key, Formula: stateSQL(bs), Positive: positive}
 				if mode == ModeShare {
-					noteProbe(&es, qc.cache.Probe(dp.Fingerprint, bs, positive))
+					noteProbe(&es, qc.cache.Probe(probeFP, bs, positive))
 				}
 				ex.States = append(ex.States, es)
 				bound = append(bound, bs)
@@ -268,6 +304,16 @@ func (ex *Explain) String() string {
 		fmt.Fprintf(&b, "  group by:    %s\n", strings.Join(ex.GroupBy, ", "))
 	}
 	fmt.Fprintf(&b, "  fingerprint: %s\n", ex.Fingerprint)
+	if w := ex.Window; w != nil {
+		shape := "tumbling"
+		if w.Sliding {
+			shape = "sliding"
+		}
+		b.WriteString("\nwindow:\n")
+		fmt.Fprintf(&b, "  frame:       %s (%s, size %d %s)\n",
+			w.Frame, shape, w.Size, strings.ToLower(w.Unit))
+		fmt.Fprintf(&b, "  fingerprint: %s\n", w.Fingerprint)
+	}
 	if len(ex.Aggregates) > 0 {
 		b.WriteString("\naggregates:\n")
 		for _, a := range ex.Aggregates {

@@ -194,3 +194,64 @@ func fingerprintOf(t *testing.T, s *Session, sql string) string {
 	}
 	return ex.Fingerprint
 }
+
+// TestExplainWindowProvenance pins the OVER-clause section: the frame
+// shape, the window-qualified fingerprint, and — after a share-mode
+// windowed run — exact per-state hits probed under that fingerprint
+// rather than the plain data fingerprint.
+func TestExplainWindowProvenance(t *testing.T) {
+	s := explainSession(t)
+	const q = "SELECT qm(price) OVER (ROWS 3 PRECEDING) FROM sales"
+	ex, err := s.ExplainQuery(q, ModeShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ex.Window
+	if w == nil {
+		t.Fatal("windowed statement must carry Window provenance")
+	}
+	if w.Frame != "ROWS 3 PRECEDING" || !w.Sliding || w.Size != 4 || w.Unit != "ROWS" {
+		t.Fatalf("window = %+v", w)
+	}
+	if w.Fingerprint != ex.Fingerprint+"|W[ROWS 3 PRECEDING]" {
+		t.Fatalf("window fingerprint = %q", w.Fingerprint)
+	}
+	out := ex.String()
+	if !strings.Contains(out, "window:\n  frame:       ROWS 3 PRECEDING (sliding, size 4 rows)") {
+		t.Fatalf("rendered explain missing window section:\n%s", out)
+	}
+	for _, st := range ex.States {
+		if st.Hit != "miss" {
+			t.Fatalf("cold window probe: state %s hit=%q, want miss", st.Key, st.Hit)
+		}
+	}
+
+	// A share-mode windowed run caches per-emission vectors under the
+	// window fingerprint; the probe must now see exact hits there.
+	if _, err := s.Query(q, ModeShare); err != nil {
+		t.Fatal(err)
+	}
+	ex, err = s.ExplainQuery(q, ModeShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range ex.States {
+		if st.Hit != "exact" {
+			t.Fatalf("warm window probe: state %s hit=%q, want exact", st.Key, st.Hit)
+		}
+	}
+	// The non-windowed statement still probes the plain fingerprint and
+	// must NOT see the window partials.
+	plain, err := s.ExplainQuery("SELECT qm(price) FROM sales", ModeShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Window != nil {
+		t.Fatal("non-windowed statement must not carry Window provenance")
+	}
+	for _, st := range plain.States {
+		if st.Hit == "exact" {
+			t.Fatalf("plain probe leaked window partials: state %s", st.Key)
+		}
+	}
+}

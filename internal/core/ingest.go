@@ -262,6 +262,10 @@ func (s *Session) Append(ctx context.Context, table string, delta *storage.Table
 	if err := s.cat.Register(newTbl); err != nil {
 		return nil, fmt.Errorf("append to %s: publish: %w", table, err)
 	}
+	// Notify continuous subscriptions after publish, still under
+	// ingestMu: one note per append, in append order (the FIFO /
+	// exactly-once half of the Subscribe contract).
+	s.notifySubs(table, newTbl, old.NumRows(), newTbl.NumRows())
 	s.noteAppend(res)
 	return res, nil
 }

@@ -32,6 +32,9 @@ import (
 //	sudaf_storage_encoded_segments_total, sudaf_storage_run_folds_total,
 //	sudaf_storage_saves_total, sudaf_storage_tables_loaded_total,
 //	sudaf_storage_cache_entries_loaded_total
+//	sudaf_window_queries_total, sudaf_window_emits_total,
+//	sudaf_window_rows_evicted_total, sudaf_window_fast_folds_total,
+//	sudaf_window_refolds_total, sudaf_window_subscriptions_total
 func (s *Session) registerMetrics(label string) {
 	lbl := ""
 	if label != "" {
@@ -151,6 +154,21 @@ func (s *Session) registerMetrics(label string) {
 		"Tables restored from DataDir segment files at session start.", s.persistTablesLoaded.Load)
 	r.CounterFunc("sudaf_storage_cache_entries_loaded_total", lbl,
 		"State-cache entries restored from the DataDir snapshot at session start.", s.persistEntriesLoaded.Load)
+
+	// Sliding-window streaming: one-shot OVER queries and Subscribe
+	// streams share these counters (docs/WINDOWS.md).
+	r.CounterFunc("sudaf_window_queries_total", lbl,
+		"One-shot windowed (OVER) queries executed.", s.windowQueries.Load)
+	r.CounterFunc("sudaf_window_emits_total", lbl,
+		"Window emissions produced, across one-shot queries and subscriptions.", s.windowEmits.Load)
+	r.CounterFunc("sudaf_window_rows_evicted_total", lbl,
+		"Rows evicted from sliding two-stacks folds.", s.windowRowsEvicted.Load)
+	r.CounterFunc("sudaf_window_fast_folds_total", lbl,
+		"Window values served by the O(1) two-stacks combination.", s.windowFastFolds.Load)
+	r.CounterFunc("sudaf_window_refolds_total", lbl,
+		"Window values that fell back to the chunked in-order refold.", s.windowRefolds.Load)
+	r.CounterFunc("sudaf_window_subscriptions_total", lbl,
+		"Continuous-query subscriptions opened via Subscribe.", s.windowSubscriptions.Load)
 }
 
 // ServeMetrics starts an HTTP endpoint on addr serving the session's

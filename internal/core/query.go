@@ -250,6 +250,17 @@ func (s *Session) runStmt(ctx context.Context, qc *queryCtx, stmt *sqlparse.Stmt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Windowed statements flow through their own pipeline: the frame is
+	// the grouping structure and the scan is a chronological fold pass.
+	if stmt.Window != nil {
+		if depth > 0 {
+			return nil, fmt.Errorf("windowed subqueries are not supported")
+		}
+		if err := s.checkAggregates(stmt); err != nil {
+			return nil, err
+		}
+		return s.runWindowStmt(ctx, qc, stmt, mode)
+	}
 	// Materialize derived tables bottom-up, into the query's private
 	// catalog overlay (never the shared session catalog).
 	var temps []string

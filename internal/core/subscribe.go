@@ -1,0 +1,537 @@
+// Continuous windowed queries: Subscribe registers a windowed statement
+// against a table and streams one WindowResult per emission as appends
+// land. The delivery contract mirrors the server's event-stream drain
+// contract (PR 5):
+//
+//   - FIFO: notifications are enqueued under ingestMu in append order,
+//     so emissions arrive in the order their rows were appended.
+//   - Exactly-once: each append enqueues exactly one notification per
+//     subscription, the initial snapshot is cut atomically with
+//     registration (under ingestMu), and the worker pops each note
+//     once — no torn, duplicated or skipped windows even when appends
+//     race the subscription start.
+//   - Append never blocks: the note queue is unbounded; a slow consumer
+//     exerts backpressure only on its own worker (the blocking send on
+//     Results), which merely extends how long old table versions stay
+//     pinned.
+//
+// Workers compute over pinned immutable versions (appends publish new
+// versions and never mutate old ones), so a racing append can never
+// tear a window mid-computation; absolute row indexes stay valid across
+// versions because every new version extends the old rows in place.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sudaf/internal/errs"
+	"sudaf/internal/exec"
+	"sudaf/internal/faultinject"
+	"sudaf/internal/sqlparse"
+	"sudaf/internal/storage"
+	"sudaf/internal/window"
+)
+
+// WindowResult is one emission batch of a continuous windowed query.
+type WindowResult struct {
+	// Table holds the emitted rows, shaped exactly like the one-shot
+	// windowed query's output (one row per frame in this batch).
+	Table *storage.Table
+	// Seq numbers result batches contiguously from 1; a gap means a bug.
+	Seq int64
+	// Epoch is the table version the batch was computed against.
+	Epoch int64
+	// FirstRow/LastRow bound the absolute base-table rows this batch's
+	// frames end at (sliding: the new rows; tumbling: the bucket).
+	FirstRow, LastRow int
+	// NumericFaults counts NaN/±Inf outputs tolerated under the
+	// permissive numeric policy while building this batch.
+	NumericFaults int
+}
+
+// subNote is one queued append notification: the pinned new table
+// version and the absolute row range it added.
+type subNote struct {
+	tbl    *storage.Table
+	lo, hi int
+	epoch  int64
+}
+
+// Subscription is a live continuous windowed query. Read emissions from
+// Results; after the channel closes, Err reports why (nil for a plain
+// Close). Close is idempotent and waits for the worker to exit.
+type Subscription struct {
+	s    *Session
+	id   int64
+	mode Mode
+	spec *sqlparse.WindowSpec
+	ws   *windowPlanState
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []subNote
+	closed bool
+	err    error
+
+	ch   chan *WindowResult
+	quit chan struct{} // closed by Close to unblock a pending delivery
+	done chan struct{} // closed when the worker has exited
+
+	seq int64
+	// Incremental frame state. folds persist across notifications (the
+	// whole point of the two-stacks structure); valuers recompile per
+	// pinned version. bucketLo/bucketRows track the open ROWS bucket,
+	// ticks the live EPOCHS batches (oldest first).
+	folds      []*window.Fold
+	bucketLo   int
+	bucketRows int
+	ticks      []frame
+	// prev* remember the folds' lifetime counters so each notification
+	// adds only its delta to the session metrics.
+	prevEvicts, prevFast, prevRefolds int64
+}
+
+// Subscribe parses a windowed statement and opens a continuous query
+// over its base table in the given mode. The subscription first emits
+// the windows already present in the table (the initial snapshot, cut
+// atomically against racing appends), then one batch per Append. The
+// statement must carry an OVER clause; EPOCHS frames are only legal
+// here, where each Append batch is one tick.
+func (s *Session) Subscribe(ctx context.Context, sql string, mode Mode) (*Subscription, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.beginOp("subscribe"); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errs.ErrParse, err)
+	}
+	if stmt.Window == nil {
+		return nil, fmt.Errorf("Subscribe requires an OVER clause (e.g. OVER (ROWS 9 PRECEDING))")
+	}
+	if err := s.checkAggregates(stmt); err != nil {
+		return nil, err
+	}
+
+	// Registration and the initial-snapshot cut are atomic with respect
+	// to appends: under ingestMu, the catalog snapshot, the queued
+	// snapshot note, and the registry insertion all see the same table
+	// version, so the first real append notification is exactly the
+	// version after the snapshot — no torn or duplicated windows.
+	s.ingestMu.Lock()
+	qc := &queryCtx{cat: s.cat.Snapshot(), cache: s.stateCache()}
+	ws := &windowPlanState{s: s, qc: qc, stmt: stmt, mode: mode, spec: stmt.Window, continuous: true}
+	if err := windowPipeline.Run(ctx, ws, nil); err != nil {
+		s.ingestMu.Unlock()
+		return nil, err
+	}
+	for i, key := range ws.slotOrder {
+		ws.slots[key].finalIdx = i
+	}
+	sub := &Subscription{
+		s:    s,
+		mode: mode,
+		spec: stmt.Window,
+		ws:   ws,
+		ch:   make(chan *WindowResult),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	sub.cond = sync.NewCond(&sub.mu)
+	if mode != ModeBaseline {
+		sub.folds = make([]*window.Fold, len(ws.slotOrder))
+		for i, key := range ws.slotOrder {
+			sub.folds[i] = window.New(ws.slots[key].st, exec.MorselRows)
+		}
+	}
+	if n := ws.tbl.NumRows(); n > 0 {
+		sub.queue = append(sub.queue, subNote{tbl: ws.tbl, lo: 0, hi: n, epoch: ws.tbl.Epoch})
+	}
+	s.subMu.Lock()
+	s.subSeq++
+	sub.id = s.subSeq
+	if s.subs == nil {
+		s.subs = map[int64]*Subscription{}
+	}
+	s.subs[sub.id] = sub
+	s.subMu.Unlock()
+	s.ingestMu.Unlock()
+
+	s.windowSubscriptions.Add(1)
+	go sub.run()
+	return sub, nil
+}
+
+// notifySubs enqueues one note per subscription on the appended table.
+// Called under ingestMu right after the new version is published, so
+// note order across subscriptions equals append order.
+func (s *Session) notifySubs(table string, tbl *storage.Table, lo, hi int) {
+	s.subMu.Lock()
+	targets := make([]*Subscription, 0, len(s.subs))
+	for _, sub := range s.subs {
+		if sub.ws.tbl.Name == table {
+			targets = append(targets, sub)
+		}
+	}
+	s.subMu.Unlock()
+	for _, sub := range targets {
+		sub.mu.Lock()
+		if !sub.closed {
+			sub.queue = append(sub.queue, subNote{tbl: tbl, lo: lo, hi: hi, epoch: tbl.Epoch})
+			sub.cond.Signal()
+		}
+		sub.mu.Unlock()
+	}
+}
+
+// closeSubscriptions shuts every live subscription down; Session.Close
+// calls it after the drain (subscription workers are not in-flight
+// operations — they are long-lived — so the drain does not cover them).
+func (s *Session) closeSubscriptions() {
+	s.subMu.Lock()
+	subs := make([]*Subscription, 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subMu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
+}
+
+// Results returns the emission stream. It is closed when the
+// subscription ends — by Close, session Close, or an internal error
+// (see Err). Consuming slowly is safe: it only delays this
+// subscription's worker.
+func (sub *Subscription) Results() <-chan *WindowResult { return sub.ch }
+
+// Err reports why the stream ended: nil after a plain Close, the
+// failure otherwise. Meaningful once Results is closed.
+func (sub *Subscription) Err() error {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.err
+}
+
+// Close ends the subscription and waits for its worker to exit. Safe to
+// call multiple times and from multiple goroutines.
+func (sub *Subscription) Close() {
+	sub.mu.Lock()
+	already := sub.closed
+	sub.closed = true
+	sub.mu.Unlock()
+	if !already {
+		close(sub.quit)
+		sub.cond.Signal()
+	}
+	<-sub.done
+	sub.s.subMu.Lock()
+	delete(sub.s.subs, sub.id)
+	sub.s.subMu.Unlock()
+}
+
+// fail records a terminal error and stops accepting notes; the result
+// channel closes when run returns.
+func (sub *Subscription) fail(err error) {
+	sub.mu.Lock()
+	if sub.err == nil {
+		sub.err = err
+	}
+	sub.closed = true
+	sub.mu.Unlock()
+}
+
+// run is the subscription worker: pop one note, compute its emissions
+// over the pinned version, deliver them in order.
+func (sub *Subscription) run() {
+	defer close(sub.done)
+	defer close(sub.ch)
+	for {
+		sub.mu.Lock()
+		for len(sub.queue) == 0 && !sub.closed {
+			sub.cond.Wait()
+		}
+		if sub.closed && len(sub.queue) == 0 || sub.err != nil {
+			sub.mu.Unlock()
+			return
+		}
+		if sub.closed {
+			// Closed with notes pending: drop them — the consumer asked
+			// to stop, not to drain.
+			sub.mu.Unlock()
+			return
+		}
+		note := sub.queue[0]
+		sub.queue = sub.queue[1:]
+		sub.mu.Unlock()
+
+		// A panic anywhere on the compute path fails the subscription
+		// cleanly instead of crashing the process (mirrors the query
+		// path's submit-level recover).
+		results, err := func() (res []*WindowResult, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					res = nil
+					err = fmt.Errorf("subscription panicked (recovered): %v", r)
+				}
+			}()
+			return sub.process(note)
+		}()
+		for _, r := range results {
+			select {
+			case sub.ch <- r:
+			case <-sub.quit:
+				return
+			}
+		}
+		if err != nil {
+			sub.fail(err)
+			return
+		}
+	}
+}
+
+// process computes the emission batches one note produces.
+func (sub *Subscription) process(note subNote) ([]*WindowResult, error) {
+	switch {
+	case sub.spec.Unit == sqlparse.WindowEpochs:
+		return sub.processEpochs(note)
+	case sub.spec.Sliding:
+		return sub.processRowsSliding(note)
+	default:
+		return sub.processRowsTumbling(note)
+	}
+}
+
+// compileValuers rebuilds the per-row state valuers against a pinned
+// version (versions share their row prefix, so the persistent folds
+// stay consistent with the new accessors).
+func (sub *Subscription) compileValuers(tbl *storage.Table) ([]exec.Accessor, error) {
+	b := exec.NewTableBinder(tbl)
+	valuers := make([]exec.Accessor, len(sub.ws.slotOrder))
+	for i, key := range sub.ws.slotOrder {
+		v, err := exec.StateValuer(sub.ws.slots[key].st, b)
+		if err != nil {
+			return nil, err
+		}
+		valuers[i] = v
+	}
+	return valuers, nil
+}
+
+// emit builds one WindowResult from a batch of frames and its value
+// matrix.
+func (sub *Subscription) emit(note subNote, frames []frame, vals [][]float64, firstRow, lastRow int) (*WindowResult, error) {
+	tbl, faults, err := buildWindowOutput(context.Background(), sub.ws, note.tbl, frames, vals)
+	if err != nil {
+		return nil, err
+	}
+	sub.seq++
+	sub.s.windowEmits.Add(int64(len(frames)))
+	return &WindowResult{
+		Table:         tbl,
+		Seq:           sub.seq,
+		Epoch:         note.epoch,
+		FirstRow:      firstRow,
+		LastRow:       lastRow,
+		NumericFaults: faults,
+	}, nil
+}
+
+// flushFoldStats adds this notification's fold-counter deltas to the
+// session's window metrics.
+func (sub *Subscription) flushFoldStats() {
+	var ev, fa, re int64
+	for _, f := range sub.folds {
+		e, a, r := f.Stats()
+		ev += e
+		fa += a
+		re += r
+	}
+	sub.s.windowRowsEvicted.Add(ev - sub.prevEvicts)
+	sub.s.windowFastFolds.Add(fa - sub.prevFast)
+	sub.s.windowRefolds.Add(re - sub.prevRefolds)
+	sub.prevEvicts, sub.prevFast, sub.prevRefolds = ev, fa, re
+}
+
+// processRowsSliding emits one output row per new row — the frame
+// ending at it — in a single WindowResult per note.
+func (sub *Subscription) processRowsSliding(note subNote) ([]*WindowResult, error) {
+	k := note.hi - note.lo
+	frames := make([]frame, 0, k)
+	for r := note.lo; r < note.hi; r++ {
+		lo := r - sub.spec.N
+		if lo < 0 {
+			lo = 0
+		}
+		frames = append(frames, frame{lo, r + 1})
+	}
+	var vals [][]float64
+	if sub.mode == ModeBaseline {
+		v, err := windowTaskValues(context.Background(), sub.ws.reg, note.tbl, frames)
+		if err != nil {
+			return nil, err
+		}
+		vals = v
+	} else {
+		valuers, err := sub.compileValuers(note.tbl)
+		if err != nil {
+			return nil, err
+		}
+		vals = make([][]float64, len(sub.folds))
+		for i := range vals {
+			vals[i] = make([]float64, k)
+		}
+		for j, r := 0, note.lo; r < note.hi; j, r = j+1, r+1 {
+			for i := range sub.folds {
+				sub.folds[i].Push(valuers[i](int32(r)))
+			}
+			if r > sub.spec.N {
+				if err := faultinject.Hit(faultinject.PointWindowEvict); err != nil {
+					return nil, fmt.Errorf("window evict at row %d: %w", r, err)
+				}
+				for i := range sub.folds {
+					sub.folds[i].Evict()
+				}
+			}
+			if err := faultinject.Hit(faultinject.PointWindowEmit); err != nil {
+				return nil, fmt.Errorf("window emit: %w", err)
+			}
+			for i := range sub.folds {
+				vals[i][j] = sub.folds[i].Value()
+			}
+		}
+		sub.flushFoldStats()
+	}
+	res, err := sub.emit(note, frames, vals, note.lo, note.hi-1)
+	if err != nil {
+		return nil, err
+	}
+	return []*WindowResult{res}, nil
+}
+
+// processRowsTumbling emits one WindowResult per bucket completed by
+// the note's rows; a partially filled bucket keeps growing.
+func (sub *Subscription) processRowsTumbling(note subNote) ([]*WindowResult, error) {
+	b := sub.spec.Size()
+	var valuers []exec.Accessor
+	if sub.mode != ModeBaseline {
+		var err error
+		if valuers, err = sub.compileValuers(note.tbl); err != nil {
+			return nil, err
+		}
+	}
+	var out []*WindowResult
+	for r := note.lo; r < note.hi; r++ {
+		if sub.mode != ModeBaseline {
+			for i := range sub.folds {
+				sub.folds[i].Push(valuers[i](int32(r)))
+			}
+		}
+		sub.bucketRows++
+		if sub.bucketRows < b {
+			continue
+		}
+		fr := frame{sub.bucketLo, r + 1}
+		if err := faultinject.Hit(faultinject.PointWindowEmit); err != nil {
+			return out, fmt.Errorf("window emit: %w", err)
+		}
+		var vals [][]float64
+		if sub.mode == ModeBaseline {
+			v, err := windowTaskValues(context.Background(), sub.ws.reg, note.tbl, []frame{fr})
+			if err != nil {
+				return out, err
+			}
+			vals = v
+		} else {
+			vals = make([][]float64, len(sub.folds))
+			for i := range sub.folds {
+				vals[i] = []float64{sub.folds[i].Value()}
+				sub.folds[i].Reset()
+			}
+			sub.flushFoldStats()
+		}
+		res, err := sub.emit(note, []frame{fr}, vals, fr.lo, fr.hi-1)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+		sub.bucketLo = r + 1
+		sub.bucketRows = 0
+	}
+	return out, nil
+}
+
+// processEpochs treats the note as one tick (each Append batch is one
+// epoch). Sliding frames cover the last n+1 ticks' rows and emit every
+// tick; tumbling frames emit once per n accumulated ticks.
+func (sub *Subscription) processEpochs(note subNote) ([]*WindowResult, error) {
+	if sub.mode != ModeBaseline {
+		valuers, err := sub.compileValuers(note.tbl)
+		if err != nil {
+			return nil, err
+		}
+		for r := note.lo; r < note.hi; r++ {
+			for i := range sub.folds {
+				sub.folds[i].Push(valuers[i](int32(r)))
+			}
+		}
+	}
+	sub.ticks = append(sub.ticks, frame{note.lo, note.hi})
+
+	if sub.spec.Sliding {
+		for len(sub.ticks) > sub.spec.N+1 {
+			expired := sub.ticks[0]
+			sub.ticks = sub.ticks[1:]
+			if err := faultinject.Hit(faultinject.PointWindowEvict); err != nil {
+				return nil, fmt.Errorf("window evict epoch rows [%d,%d): %w", expired.lo, expired.hi, err)
+			}
+			if sub.mode != ModeBaseline {
+				for i := range sub.folds {
+					for r := expired.lo; r < expired.hi; r++ {
+						sub.folds[i].Evict()
+					}
+				}
+			}
+		}
+	} else if len(sub.ticks) < sub.spec.N {
+		return nil, nil
+	}
+
+	fr := frame{sub.ticks[0].lo, note.hi}
+	if err := faultinject.Hit(faultinject.PointWindowEmit); err != nil {
+		return nil, fmt.Errorf("window emit: %w", err)
+	}
+	var vals [][]float64
+	if sub.mode == ModeBaseline {
+		v, err := windowTaskValues(context.Background(), sub.ws.reg, note.tbl, []frame{fr})
+		if err != nil {
+			return nil, err
+		}
+		vals = v
+	} else {
+		vals = make([][]float64, len(sub.folds))
+		for i := range sub.folds {
+			vals[i] = []float64{sub.folds[i].Value()}
+		}
+		if !sub.spec.Sliding {
+			for i := range sub.folds {
+				sub.folds[i].Reset()
+			}
+		}
+		sub.flushFoldStats()
+	}
+	if !sub.spec.Sliding {
+		sub.ticks = sub.ticks[:0]
+	}
+	res, err := sub.emit(note, []frame{fr}, vals, fr.lo, fr.hi-1)
+	if err != nil {
+		return nil, err
+	}
+	return []*WindowResult{res}, nil
+}

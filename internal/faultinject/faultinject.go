@@ -83,6 +83,14 @@ const (
 	// merged all partials, before the result is returned: a delay models
 	// a stalled coordinator (drain testing), an error a failed gather.
 	PointShardStall = "shard.stall"
+	// PointWindowEvict fires each time a sliding window evicts expired
+	// rows (once per eviction step, not per state): an error aborts the
+	// windowed query or fails the subscription cleanly.
+	PointWindowEvict = "window.evict"
+	// PointWindowEmit fires before each window emission is computed: an
+	// error models a failure mid-stream — one-shot queries abort, live
+	// subscriptions surface it via Err() after the result channel closes.
+	PointWindowEmit = "window.emit"
 )
 
 // Points lists every registered fault point.
@@ -91,6 +99,7 @@ func Points() []string {
 		PointStorageScan, PointCacheGet, PointExecWorker, PointExecJoin,
 		PointNetAccept, PointNetRead, PointNetWrite, PointNetStall,
 		PointShardScan, PointShardMerge, PointShardStall,
+		PointWindowEvict, PointWindowEmit,
 	}
 }
 

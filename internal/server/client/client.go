@@ -464,6 +464,118 @@ func (c *Client) Append(ctx context.Context, table string, cols []server.ColumnD
 	return out, err
 }
 
+// Emission is one window result received on a subscription stream.
+type Emission struct {
+	// Rows are the emission's result rows (see Result for cell shapes).
+	Rows [][]any
+	// Window is the emission's provenance: Seq (contiguous from 1),
+	// pinned Epoch, covered base-table rows.
+	Window *server.WindowMeta
+}
+
+// Float returns cell (row, col) as float64; non-finite values decode
+// from their wire spellings.
+func (e *Emission) Float(row, col int) float64 {
+	v, _ := server.CellFloat(e.Rows[row][col])
+	return v
+}
+
+// SubStream is a live /v1/subscribe stream. Unlike queries it is never
+// retried: a subscription is stateful (Seq restarts from 1 on a fresh
+// subscribe), so reconnect policy belongs to the caller. Iterate with
+// Next; Close releases the connection.
+type SubStream struct {
+	resp    *http.Response
+	br      *bufio.Reader
+	columns []server.ColumnSpec
+	end     *server.Frame
+	closed  bool
+}
+
+// Subscribe opens a continuous windowed query (the SQL must carry an
+// OVER clause). maxEmits > 0 asks the server to end the stream cleanly
+// after that many emissions; 0 streams until Close, ctx cancellation,
+// or server drain.
+func (c *Client) Subscribe(ctx context.Context, sql, mode string, maxEmits int) (*SubStream, error) {
+	body, err := json.Marshal(server.SubscribeRequest{SQL: sql, Mode: mode, MaxEmits: maxEmits})
+	if err != nil {
+		return nil, err
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/subscribe", body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, &netError{err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, server.MaxFrameBytes))
+		var eb server.ErrorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Code != "" {
+			return nil, server.ErrorForCode(eb.Code, eb.Error)
+		}
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	return &SubStream{resp: resp, br: bufio.NewReader(resp.Body)}, nil
+}
+
+// Next blocks for the next emission. It returns io.EOF when the server
+// ended the stream cleanly (maxEmits reached or drain; End then carries
+// the end frame), a typed engine error if the subscription failed, and
+// ErrTornStream when the stream was cut without a terminal frame.
+func (s *SubStream) Next() (*Emission, error) {
+	if s.end != nil {
+		return nil, io.EOF
+	}
+	for {
+		f, err := server.ReadFrame(s.br, 0)
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("%w: subscription ended before its end frame", server.ErrTornStream)
+			}
+			if errors.Is(err, server.ErrTornStream) || errors.Is(err, server.ErrFrameTooLarge) {
+				return nil, err
+			}
+			return nil, &netError{err}
+		}
+		switch f.Type {
+		case server.FrameSchema:
+			s.columns = f.Columns
+		case server.FrameBatch:
+			if s.columns == nil {
+				return nil, fmt.Errorf("%w: batch before schema", server.ErrTornStream)
+			}
+			return &Emission{Rows: f.Rows, Window: f.Window}, nil
+		case server.FrameError:
+			return nil, server.ErrorForCode(f.Code, f.Error)
+		case server.FrameEnd:
+			s.end = f
+			return nil, io.EOF
+		}
+	}
+}
+
+// Columns returns the stream's result schema (nil before the first
+// emission arrives — the schema rides with it).
+func (s *SubStream) Columns() []server.ColumnSpec { return s.columns }
+
+// End returns the clean-termination frame (nil until Next returned
+// io.EOF); its Events carry "server draining" when a drain ended the
+// stream.
+func (s *SubStream) End() *server.Frame { return s.end }
+
+// Close releases the stream's connection. Safe to call at any point and
+// more than once.
+func (s *SubStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.resp.Body.Close()
+}
+
 // Health fetches the server's health summary (never retried — its
 // point is to observe the server as it is right now).
 func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {

@@ -15,6 +15,7 @@ import (
 //
 //	sudaf_server_requests_total{kind=...}
 //	sudaf_server_batch_requests_total, sudaf_server_batch_queries_total
+//	sudaf_server_subscribe_emits_total, sudaf_server_subscriptions_active
 //	sudaf_server_shed_total{reason=...}
 //	sudaf_server_inflight, sudaf_server_queue_depth
 //	sudaf_server_sessions_open, sudaf_server_sessions_opened_total
@@ -44,6 +45,13 @@ func (s *Server) registerMetrics(r *obs.Registry, label string) {
 		s.batchReqs.Load)
 	r.CounterFunc("sudaf_server_batch_queries_total", lbl,
 		"Queries submitted inside accepted batches.", s.batchQueries.Load)
+	r.CounterFunc("sudaf_server_requests_total", with("kind", "subscribe"),
+		"Requests accepted for execution, by kind.", s.subscribeReqs.Load)
+	r.CounterFunc("sudaf_server_subscribe_emits_total", lbl,
+		"Window emissions streamed to /v1/subscribe clients.", s.subscribeEmits.Load)
+	r.GaugeFunc("sudaf_server_subscriptions_active", lbl,
+		"Subscribe streams currently open.",
+		func() float64 { return float64(s.subscribeActive.Load()) })
 	r.CounterFunc("sudaf_server_shed_total", with("reason", "queue_full"),
 		"Requests shed before execution, by reason: global queue full, per-session cap, server draining.",
 		s.shedQueue.Load)

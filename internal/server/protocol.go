@@ -118,6 +118,21 @@ type Frame struct {
 	// error
 	Code  string `json:"code,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Window tags a /v1/subscribe batch frame with its emission
+	// provenance; nil on plain query streams.
+	Window *WindowMeta `json:"window,omitempty"`
+}
+
+// WindowMeta is one subscription emission's provenance: its position in
+// the stream (Seq, contiguous from 1 — a gap means frames were lost),
+// the pinned table version it was computed against, and the absolute
+// base-table rows the emission's windows cover.
+type WindowMeta struct {
+	Seq           int64 `json:"seq"`
+	Epoch         int64 `json:"epoch"`
+	FirstRow      int   `json:"firstRow"`
+	LastRow       int   `json:"lastRow"`
+	NumericFaults int   `json:"numericFaults,omitempty"`
 }
 
 // QueryRequest is the body of POST /v1/query.
@@ -155,6 +170,23 @@ type BatchRequest struct {
 	Session string `json:"session,omitempty"`
 	// BatchRows bounds rows per batch frame (0 = server default).
 	BatchRows int `json:"batchRows,omitempty"`
+}
+
+// SubscribeRequest is the body of POST /v1/subscribe: a continuous
+// windowed query (the SQL must carry an OVER clause). The response is a
+// long-lived NDJSON stream — schema on the first emission, then one
+// batch frame per WindowResult, each tagged with WindowMeta — ended by
+// an end frame (MaxEmits reached or server drain) or an error frame.
+type SubscribeRequest struct {
+	SQL string `json:"sql"`
+	// Mode is "baseline", "rewrite" or "share" (default "share").
+	Mode string `json:"mode,omitempty"`
+	// Session is the session id (optional; the X-Sudaf-Session header
+	// takes precedence).
+	Session string `json:"session,omitempty"`
+	// MaxEmits closes the stream cleanly after that many emissions
+	// (0 = until the client disconnects or the server drains).
+	MaxEmits int `json:"maxEmits,omitempty"`
 }
 
 // PrepareRequest is the body of POST /v1/prepare.
@@ -422,6 +454,24 @@ func DecodeBatchRequest(data []byte) (*BatchRequest, error) {
 		return nil, fmt.Errorf("negative batchRows")
 	}
 	return &b, nil
+}
+
+// DecodeSubscribeRequest parses and validates a subscribe request body.
+func DecodeSubscribeRequest(data []byte) (*SubscribeRequest, error) {
+	var sr SubscribeRequest
+	if err := strictUnmarshal(data, &sr); err != nil {
+		return nil, err
+	}
+	if sr.SQL == "" {
+		return nil, fmt.Errorf("empty sql")
+	}
+	if _, ok := ModeFromString(sr.Mode); !ok {
+		return nil, fmt.Errorf("unknown mode %q", sr.Mode)
+	}
+	if sr.MaxEmits < 0 {
+		return nil, fmt.Errorf("negative maxEmits")
+	}
+	return &sr, nil
 }
 
 // DecodePrepareRequest parses and validates a prepare request body.

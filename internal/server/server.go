@@ -99,10 +99,13 @@ type Server struct {
 	drainNanos atomic.Int64
 
 	// Metrics counters (reader-backed; see metrics.go).
-	queryReqs    atomic.Int64
-	appendReqs   atomic.Int64
-	batchReqs    atomic.Int64
-	batchQueries atomic.Int64
+	queryReqs       atomic.Int64
+	appendReqs      atomic.Int64
+	batchReqs       atomic.Int64
+	batchQueries    atomic.Int64
+	subscribeReqs   atomic.Int64
+	subscribeEmits  atomic.Int64
+	subscribeActive atomic.Int64
 	shedQueue    atomic.Int64
 	shedSession  atomic.Int64
 	shedDraining atomic.Int64
@@ -146,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/prepare", s.handlePrepare)
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/v1/append", s.handleAppend)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.Handle("/metrics", reg.Handler())

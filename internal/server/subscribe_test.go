@@ -1,0 +1,204 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"sudaf/internal/core"
+	"sudaf/internal/server"
+	"sudaf/internal/server/client"
+)
+
+// deltaCols builds one append batch for the store_sales fixture.
+func deltaCols(store []int64, list, sales []float64) []server.ColumnData {
+	return []server.ColumnData{
+		{Name: "ss_store_sk", Kind: "int", Ints: store},
+		{Name: "ss_list_price", Kind: "float", Floats: list},
+		{Name: "ss_sales_price", Kind: "float", Floats: sales},
+	}
+}
+
+// TestSubscribeStream covers the /v1/subscribe happy path end to end:
+// snapshot emission, append-driven emissions with contiguous Seq and
+// correct row coverage, values matching a one-shot windowed query, and
+// a clean maxEmits termination.
+func TestSubscribeStream(t *testing.T) {
+	eng := newEngine(t, 5, core.Options{})
+	srv := startServer(t, server.Config{Session: eng})
+	c := client.New(srv.Addr(), client.Options{})
+	ctx := context.Background()
+
+	sub, err := c.Subscribe(ctx,
+		"SELECT sum(ss_list_price) OVER (ROWS 2 PRECEDING) FROM store_sales", "share", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Snapshot: 5 seed rows, one output row each.
+	first, err := sub.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Window == nil || first.Window.Seq != 1 {
+		t.Fatalf("first emission meta = %+v", first.Window)
+	}
+	if len(first.Rows) != 5 || first.Window.FirstRow != 0 || first.Window.LastRow != 4 {
+		t.Fatalf("snapshot covers rows [%d,%d], %d rows",
+			first.Window.FirstRow, first.Window.LastRow, len(first.Rows))
+	}
+	if sub.Columns() == nil {
+		t.Fatal("schema must precede the first emission")
+	}
+
+	// Two appends → two more emissions, then the maxEmits end frame.
+	if _, err := c.Append(ctx, "store_sales",
+		deltaCols([]int64{0, 1}, []float64{10, 20}, []float64{5, 10})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, "store_sales",
+		deltaCols([]int64{2}, []float64{30}, []float64{15})); err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]any
+	rows = append(rows, first.Rows...)
+	for seq := int64(2); seq <= 3; seq++ {
+		e, err := sub.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Window.Seq != seq {
+			t.Fatalf("Seq = %d, want %d (gap)", e.Window.Seq, seq)
+		}
+		rows = append(rows, e.Rows...)
+	}
+	if _, err := sub.Next(); err != io.EOF {
+		t.Fatalf("after maxEmits: err = %v, want io.EOF", err)
+	}
+	if sub.End() == nil || sub.End().Groups != 3 {
+		t.Fatalf("end frame = %+v", sub.End())
+	}
+
+	// The concatenated emissions must equal the one-shot windowed query
+	// over the final table.
+	res, err := eng.Query("SELECT sum(ss_list_price) OVER (ROWS 2 PRECEDING) FROM store_sales", core.ModeShare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != res.Table.NumRows() {
+		t.Fatalf("streamed %d rows, one-shot has %d", len(rows), res.Table.NumRows())
+	}
+	for i := range rows {
+		got, _ := server.CellFloat(rows[i][0])
+		want := res.Table.Cols[0].F[i]
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("row %d: %v != one-shot %v", i, got, want)
+		}
+	}
+}
+
+// TestSubscribeDrain pins the drain contract: an open subscribe stream
+// ends promptly with a clean "server draining" end frame when Shutdown
+// begins, and Shutdown is not held up by idle subscribers.
+func TestSubscribeDrain(t *testing.T) {
+	eng := newEngine(t, 4, core.Options{})
+	srv := startServer(t, server.Config{Session: eng})
+	c := client.New(srv.Addr(), client.Options{})
+	ctx := context.Background()
+
+	sub, err := c.Subscribe(ctx,
+		"SELECT avg(ss_list_price) OVER (ROWS 1 PRECEDING) FROM store_sales", "rewrite", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := sub.Next(); err != nil { // snapshot
+		t.Fatal(err)
+	}
+
+	shutErr := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutErr <- srv.Shutdown(sctx)
+	}()
+	if _, err := sub.Next(); err != io.EOF {
+		t.Fatalf("during drain: err = %v, want io.EOF", err)
+	}
+	end := sub.End()
+	if end == nil || len(end.Events) == 0 || end.Events[0] != "server draining" {
+		t.Fatalf("end frame = %+v, want the draining event", end)
+	}
+	if err := <-shutErr; err != nil {
+		t.Fatalf("shutdown held up by subscriber: %v", err)
+	}
+	// New subscriptions are shed with the typed draining rejection.
+	if _, err := c.Subscribe(ctx,
+		"SELECT avg(ss_list_price) OVER (ROWS 1 PRECEDING) FROM store_sales", "share", 0); err == nil {
+		t.Fatal("subscribe after drain must fail")
+	}
+}
+
+// TestSubscribeRejections: bad requests fail before streaming with
+// typed bodies.
+func TestSubscribeRejections(t *testing.T) {
+	eng := newEngine(t, 4, core.Options{})
+	srv := startServer(t, server.Config{Session: eng})
+	c := client.New(srv.Addr(), client.Options{Retries: -1})
+	ctx := context.Background()
+
+	// No OVER clause: the engine rejects at subscribe time.
+	if _, err := c.Subscribe(ctx, "SELECT avg(ss_list_price) FROM store_sales", "share", 0); err == nil {
+		t.Fatal("subscribe without OVER must fail")
+	}
+	// Unknown table: typed error survives the wire.
+	_, err := c.Subscribe(ctx, "SELECT avg(x) OVER (ROWS 1 PRECEDING) FROM nope", "share", 0)
+	if err == nil {
+		t.Fatal("unknown table must fail")
+	}
+	if sub, err := c.Subscribe(ctx, "", "share", 0); err == nil {
+		sub.Close()
+		t.Fatal("empty sql must fail")
+	}
+}
+
+// TestSubscribeClientGone: a subscriber that disconnects mid-stream
+// must not wedge the server — the handler notices the dead connection
+// on the next emission and detaches.
+func TestSubscribeClientGone(t *testing.T) {
+	eng := newEngine(t, 4, core.Options{})
+	srv := startServer(t, server.Config{Session: eng})
+	c := client.New(srv.Addr(), client.Options{})
+	ctx := context.Background()
+
+	sub, err := c.Subscribe(ctx,
+		"SELECT sum(ss_list_price) OVER (ROWS 1 PRECEDING) FROM store_sales", "share", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Next(); err != nil {
+		t.Fatal(err)
+	}
+	sub.Close() // hang up
+
+	// Appends keep flowing; the abandoned handler must clean up rather
+	// than block the engine or the drain.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Append(ctx, "store_sales",
+			deltaCols([]int64{0}, []float64{1}, []float64{1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown after client hangup: %v", err)
+	}
+	if errors.Is(sctx.Err(), context.DeadlineExceeded) {
+		t.Fatal("drain timed out")
+	}
+}

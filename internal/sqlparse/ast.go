@@ -19,6 +19,69 @@ type Stmt struct {
 	GroupBy []string
 	OrderBy []OrderItem
 	Limit   int // -1 when absent
+	// Window is the statement's OVER clause, nil for ordinary queries.
+	// One spec governs the whole statement: every aggregate in the
+	// projection carries the same frame (the parser rejects mixed OVER
+	// clauses).
+	Window *WindowSpec
+}
+
+// WindowUnit selects what a window frame is measured in.
+type WindowUnit int
+
+const (
+	// WindowRows frames over physical row counts.
+	WindowRows WindowUnit = iota
+	// WindowEpochs frames over append epochs: each Append batch is one
+	// tick, whatever its row count. Epoch frames only make sense on a
+	// live stream, so they are Subscribe-only.
+	WindowEpochs
+)
+
+func (u WindowUnit) String() string {
+	if u == WindowEpochs {
+		return "EPOCHS"
+	}
+	return "ROWS"
+}
+
+// WindowSpec is a parsed OVER clause:
+//
+//	OVER (ROWS n PRECEDING)    sliding, frame = current row + n preceding
+//	OVER (ROWS n TUMBLING)     disjoint buckets of n rows
+//	OVER (EPOCHS n PRECEDING)  sliding over the last n+1 append batches
+//	OVER (EPOCHS n TUMBLING)   disjoint buckets of n append batches
+type WindowSpec struct {
+	Unit    WindowUnit
+	N       int
+	Sliding bool // PRECEDING (sliding) vs TUMBLING
+}
+
+// Size returns the frame extent in the spec's unit: n+1 for sliding
+// (current + n preceding), n for tumbling buckets.
+func (w *WindowSpec) Size() int {
+	if w.Sliding {
+		return w.N + 1
+	}
+	return w.N
+}
+
+// String renders the spec deterministically (it feeds cache
+// fingerprints): "ROWS 9 PRECEDING", "EPOCHS 4 TUMBLING".
+func (w *WindowSpec) String() string {
+	kind := "TUMBLING"
+	if w.Sliding {
+		kind = "PRECEDING"
+	}
+	return w.Unit.String() + " " + itoa(w.N) + " " + kind
+}
+
+// Equal reports whether two specs describe the same frame.
+func (w *WindowSpec) Equal(o *WindowSpec) bool {
+	if w == nil || o == nil {
+		return w == o
+	}
+	return w.Unit == o.Unit && w.N == o.N && w.Sliding == o.Sliding
 }
 
 // SelectItem is one projection: an expression (possibly containing

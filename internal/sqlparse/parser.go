@@ -131,6 +131,9 @@ type sqlParser struct {
 	toks  []tok
 	i     int
 	depth int
+	// window collects the OVER clause of the SELECT currently being
+	// parsed; parseSelect save/restores it around subquery recursion.
+	window *WindowSpec
 }
 
 // maxParseDepth bounds statement nesting — subqueries, parenthesized
@@ -208,6 +211,9 @@ func (p *sqlParser) parseSelect() (*Stmt, error) {
 	if err := p.expectKw("select"); err != nil {
 		return nil, err
 	}
+	saved := p.window
+	p.window = nil
+	defer func() { p.window = saved }()
 	stmt := &Stmt{Limit: -1}
 	for {
 		item, err := p.parseSelectItem()
@@ -318,7 +324,59 @@ func (p *sqlParser) parseSelect() (*Stmt, error) {
 		}
 		stmt.Limit = n
 	}
+	stmt.Window = p.window
 	return stmt, nil
+}
+
+// parseOverClause parses the frame after an aggregate call's OVER:
+// ( ROWS|EPOCHS <n> PRECEDING|TUMBLING ). Every OVER clause in one
+// statement must describe the same frame.
+func (p *sqlParser) parseOverClause() error {
+	if p.peek().kind != tLParen {
+		return fmt.Errorf("expected ( after OVER at offset %d", p.peek().pos)
+	}
+	p.next()
+	spec := &WindowSpec{}
+	switch {
+	case p.eatKw("rows"):
+		spec.Unit = WindowRows
+	case p.eatKw("epochs"):
+		spec.Unit = WindowEpochs
+	default:
+		return fmt.Errorf("expected ROWS or EPOCHS in OVER clause at offset %d", p.peek().pos)
+	}
+	t := p.peek()
+	if t.kind != tNum {
+		return fmt.Errorf("expected frame size in OVER clause at offset %d", t.pos)
+	}
+	p.next()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return fmt.Errorf("window frame size must be an integer, got %q", t.text)
+	}
+	spec.N = n
+	switch {
+	case p.eatKw("preceding"):
+		spec.Sliding = true
+		if n < 0 {
+			return fmt.Errorf("OVER (%s n PRECEDING) requires n >= 0, got %d", spec.Unit, n)
+		}
+	case p.eatKw("tumbling"):
+		if n < 1 {
+			return fmt.Errorf("OVER (%s n TUMBLING) requires n >= 1, got %d", spec.Unit, n)
+		}
+	default:
+		return fmt.Errorf("expected PRECEDING or TUMBLING in OVER clause at offset %d", p.peek().pos)
+	}
+	if p.peek().kind != tRParen {
+		return fmt.Errorf("expected ) after OVER clause at offset %d", p.peek().pos)
+	}
+	p.next()
+	if p.window != nil && !p.window.Equal(spec) {
+		return fmt.Errorf("conflicting OVER clauses: %s vs %s (one frame per statement)", p.window, spec)
+	}
+	p.window = spec
+	return nil
 }
 
 // OrderItem is an ORDER BY entry.
@@ -634,6 +692,15 @@ func (p *sqlParser) parsePrimaryE() (expr.Node, error) {
 				return nil, fmt.Errorf("expected ) at offset %d", p.peek().pos)
 			}
 			p.next()
+			// OVER (...) directly after a call attaches a window frame
+			// to the statement. Lookahead for the paren so "over" stays
+			// usable as an alias.
+			if p.kw("over") && p.toks[p.i+1].kind == tLParen {
+				p.next()
+				if err := p.parseOverClause(); err != nil {
+					return nil, err
+				}
+			}
 			return &expr.Call{Name: lower, Args: args}, nil
 		}
 		return &expr.Var{Name: baseName(name)}, nil

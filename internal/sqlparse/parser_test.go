@@ -233,3 +233,66 @@ func TestParseArithmeticProjection(t *testing.T) {
 		t.Errorf("eval = %v, want %v", got, want)
 	}
 }
+
+func TestParseOverClause(t *testing.T) {
+	s := parse(t, "SELECT sum(x) OVER (ROWS 9 PRECEDING) FROM t")
+	if s.Window == nil || s.Window.Unit != WindowRows || s.Window.N != 9 || !s.Window.Sliding {
+		t.Fatalf("window: %+v", s.Window)
+	}
+	if s.Window.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", s.Window.Size())
+	}
+	if s.Window.String() != "ROWS 9 PRECEDING" {
+		t.Fatalf("String = %q", s.Window.String())
+	}
+	c, ok := s.Select[0].Expr.(*expr.Call)
+	if !ok || c.Name != "sum" {
+		t.Fatalf("call lost: %v", s.Select[0].Expr)
+	}
+
+	s = parse(t, "SELECT count(*) over (epochs 4 tumbling) FROM t")
+	if s.Window == nil || s.Window.Unit != WindowEpochs || s.Window.N != 4 || s.Window.Sliding {
+		t.Fatalf("window: %+v", s.Window)
+	}
+	if s.Window.Size() != 4 || s.Window.String() != "EPOCHS 4 TUMBLING" {
+		t.Fatalf("spec: Size=%d String=%q", s.Window.Size(), s.Window.String())
+	}
+
+	// Matching OVER clauses on several aggregates collapse to one spec.
+	s = parse(t, "SELECT sum(x) OVER (ROWS 5 PRECEDING), count(*) OVER (ROWS 5 PRECEDING) FROM t")
+	if s.Window == nil || s.Window.N != 5 {
+		t.Fatalf("window: %+v", s.Window)
+	}
+
+	// A subquery's frame must not leak into the outer statement.
+	s = parse(t, "SELECT v FROM (SELECT sum(x) OVER (ROWS 2 PRECEDING) v FROM u) q")
+	if s.Window != nil {
+		t.Fatalf("outer window leaked: %+v", s.Window)
+	}
+	if s.From[0].Sub.Window == nil || s.From[0].Sub.Window.N != 2 {
+		t.Fatalf("inner window lost: %+v", s.From[0].Sub.Window)
+	}
+
+	// "over" stays usable as an alias when no paren follows.
+	s = parse(t, "SELECT sum(x) over FROM t")
+	if s.Select[0].Alias != "over" || s.Window != nil {
+		t.Fatalf("alias 'over' broken: %+v window=%+v", s.Select[0], s.Window)
+	}
+}
+
+func TestParseOverClauseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT sum(x) OVER (ROWS PRECEDING) FROM t",
+		"SELECT sum(x) OVER (ROWS 2.5 PRECEDING) FROM t",
+		"SELECT sum(x) OVER (ROWS 3 SLIDING) FROM t",
+		"SELECT sum(x) OVER (DAYS 3 PRECEDING) FROM t",
+		"SELECT sum(x) OVER (ROWS 0 TUMBLING) FROM t",
+		"SELECT sum(x) OVER (ROWS 3 PRECEDING FROM t",
+		"SELECT sum(x) OVER (ROWS 3 PRECEDING), count(*) OVER (ROWS 4 PRECEDING) FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

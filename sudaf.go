@@ -42,6 +42,7 @@ package sudaf
 
 import (
 	"context"
+	"sort"
 	"time"
 
 	"sudaf/internal/cache"
@@ -252,6 +253,9 @@ func (e *Engine) Session() *core.Session { return e.s }
 // Register adds a table to the catalog.
 func (e *Engine) Register(t *Table) error { return e.s.Register(t) }
 
+// TableNames lists the registered tables, sorted.
+func (e *Engine) TableNames() []string { return e.s.Catalog().Names() }
+
 // DefineUDAF registers a user-defined aggregate from its mathematical
 // expression, e.g. DefineUDAF("gm", []string{"x"}, "prod(x)^(1/count())").
 // The library pre-registers qm, cm, gm, hm, apm, logsumexp, theta0/1,
@@ -359,6 +363,38 @@ func (e *Engine) BatchExplain(reqs []Request, mode Mode) (*BatchExplain, error) 
 	return e.s.BatchExplain(reqs, mode)
 }
 
+// WindowResult is one emission batch of a continuous windowed query;
+// see Engine.Subscribe.
+type WindowResult = core.WindowResult
+
+// Subscription is a live continuous windowed query opened by
+// Engine.Subscribe: read emissions from Results, stop with Close, and
+// check Err after the stream closes.
+type Subscription = core.Subscription
+
+// Subscribe opens a continuous windowed query: a SELECT with an OVER
+// clause (ROWS or EPOCHS, PRECEDING or TUMBLING) over one base table,
+// streaming a WindowResult per emission batch as appends land:
+//
+//	sub, err := eng.Subscribe(ctx, "SELECT avg(price) OVER (ROWS 9 PRECEDING) FROM trades", sudaf.Share)
+//	for wr := range sub.Results() {
+//	    // wr.Table: one row per emitted window, same shape as the
+//	    // one-shot query's output; wr.Seq is contiguous from 1.
+//	}
+//	err = sub.Err() // nil after a plain Close
+//
+// The subscription first emits the windows already present in the
+// table, then one batch per Append, in append order, exactly once.
+// Emitted windows are bit-identical to a one-shot query over the same
+// rows. Appends never block on slow consumers — backpressure only
+// delays the subscription's own stream (and extends how long old table
+// versions stay pinned). Close the subscription (or the engine) to end
+// the stream. See docs/WINDOWS.md for frame semantics and the drain
+// contract.
+func (e *Engine) Subscribe(ctx context.Context, sql string, mode Mode) (*Subscription, error) {
+	return e.s.Subscribe(ctx, sql, mode)
+}
+
 // AppendResult reports what one append batch did: rows ingested, the
 // table-version transition, and how cached states and materialized views
 // were carried across it (delta-maintained vs invalidated).
@@ -447,6 +483,13 @@ func (e *Engine) RewriteSQL(sql string) (string, error) { return e.s.RewriteSQL(
 // Materialize creates a materialized state view usable for roll-up
 // rewriting (and seeds the state cache).
 func (e *Engine) Materialize(name, sql string) error { return e.s.Materialize(name, sql) }
+
+// ViewNames lists the materialized state views, sorted.
+func (e *Engine) ViewNames() []string {
+	names := e.s.Views()
+	sort.Strings(names)
+	return names
+}
 
 // DropView removes a materialized view.
 func (e *Engine) DropView(name string) { e.s.DropView(name) }

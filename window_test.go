@@ -1,0 +1,690 @@
+package sudaf_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sudaf"
+	"sudaf/internal/faultinject"
+)
+
+// windowEngine builds an engine over adversarial stream data: NaN, ±Inf,
+// signed zeros, fractional, huge and tiny values, plus an int and a
+// string column for emit-row passthrough checks.
+func windowEngine(t *testing.T, n int) *sudaf.Engine {
+	t.Helper()
+	eng := sudaf.Open(sudaf.Options{Workers: 4})
+	if err := eng.Register(windowTable("ticks", 0, n, 7)); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// windowTable builds rows [lo, n) of the deterministic adversarial
+// stream (same seed → same rows, so deltas slice the same sequence).
+func windowTable(name string, lo, n int, seed int64) *sudaf.Table {
+	tbl := sudaf.NewTable(name,
+		sudaf.NewColumn("v", sudaf.Float),
+		sudaf.NewColumn("k", sudaf.Int),
+		sudaf.NewColumn("tag", sudaf.String))
+	rng := rand.New(rand.NewSource(seed))
+	tags := []string{"buy", "sell", "hold"}
+	for i := 0; i < n; i++ {
+		var v float64
+		switch rng.Intn(8) {
+		case 0:
+			v = math.NaN()
+		case 1:
+			v = math.Inf(1)
+		case 2:
+			v = math.Inf(-1)
+		case 3:
+			v = math.Copysign(0, -1)
+		case 4:
+			v = rng.NormFloat64() * 1e17
+		case 5:
+			v = rng.NormFloat64() * 1e-17
+		default:
+			v = rng.NormFloat64() * 50
+		}
+		if i < lo {
+			continue // keep the rng sequence aligned across slices
+		}
+		tbl.Col("v").AppendFloat(v)
+		tbl.Col("k").AppendInt(int64(i))
+		tbl.Col("tag").AppendString(tags[i%3])
+	}
+	return tbl
+}
+
+var windowModes = []struct {
+	name string
+	mode sudaf.Mode
+}{
+	{"baseline", sudaf.Baseline},
+	{"rewrite", sudaf.Rewrite},
+	{"share", sudaf.Share},
+}
+
+const windowAggs = "sum(v), avg(v), min(v), max(v), qm(v)"
+
+// bitsEqual is the repo's bit-identity predicate (NaN ≡ NaN): windowed
+// emissions must match a cold recompute down to zero signs and exact
+// finite bits. NaN payloads are exempt — which payload survives a
+// NaN ⊕ NaN merge depends on hardware operand order, which the
+// compiler may legally swap for commutative ops, so no two code paths
+// can pin it.
+func bitsEqual(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestWindowedVsColdRecompute is the windowed-vs-recompute differential
+// battery: every emitted window of a one-shot windowed query must be
+// bit-identical to a cold full query over exactly the window's row
+// range, registered as its own table — across sliding and tumbling
+// frames, all three modes, on NaN/±Inf adversarial data.
+func TestWindowedVsColdRecompute(t *testing.T) {
+	const n = 57
+	eng := windowEngine(t, n)
+
+	specs := []struct {
+		over   string
+		frames [][2]int
+	}{
+		{"ROWS 6 PRECEDING", slidingFrames(n, 6)},
+		{"ROWS 10 TUMBLING", tumblingFrames(n, 10)},
+	}
+	// Register each distinct frame's rows once as its own cold table.
+	coldName := map[[2]int]string{}
+	for _, spec := range specs {
+		for _, fr := range spec.frames {
+			if _, ok := coldName[fr]; ok {
+				continue
+			}
+			name := fmt.Sprintf("cold_%d_%d", fr[0], fr[1])
+			if err := eng.Register(windowTable(name, fr[0], fr[1], 7)); err != nil {
+				t.Fatal(err)
+			}
+			coldName[fr] = name
+		}
+	}
+
+	for _, spec := range specs {
+		for _, m := range windowModes {
+			t.Run(spec.over+"/"+m.name, func(t *testing.T) {
+				// OVER attaches to one call; its frame governs the
+				// whole statement.
+				sql := fmt.Sprintf("SELECT sum(v) OVER (%s), avg(v), min(v), max(v), qm(v) FROM ticks", spec.over)
+				res, err := eng.Query(sql, m.mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Table.NumRows() != len(spec.frames) {
+					t.Fatalf("emitted %d windows, want %d", res.Table.NumRows(), len(spec.frames))
+				}
+				for e, fr := range spec.frames {
+					cold, err := eng.Query(
+						"SELECT "+windowAggs+" FROM "+coldName[fr], m.mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for c := range res.Table.Cols {
+						got := res.Table.Cols[c].F[e]
+						want := cold.Table.Cols[c].F[0]
+						if !bitsEqual(got, want) {
+							t.Fatalf("window %d rows [%d,%d) col %s: %x (%v) != cold %x (%v)",
+								e, fr[0], fr[1], res.Table.Cols[c].Name,
+								math.Float64bits(got), got, math.Float64bits(want), want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func slidingFrames(n, prec int) [][2]int {
+	var out [][2]int
+	for r := 0; r < n; r++ {
+		lo := r - prec
+		if lo < 0 {
+			lo = 0
+		}
+		out = append(out, [2]int{lo, r + 1})
+	}
+	return out
+}
+
+func tumblingFrames(n, b int) [][2]int {
+	var out [][2]int
+	for lo := 0; lo < n; lo += b {
+		hi := lo + b
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// TestWindowMultiMorselFrames pins the chunked refold against frames
+// larger than one morsel (65536 rows): the fold's chunk boundaries must
+// reproduce the cold scan's morsel merge order bit-for-bit.
+func TestWindowMultiMorselFrames(t *testing.T) {
+	const n = 140_000
+	eng := windowEngine(t, n)
+	frames := tumblingFrames(n, 100_000)
+	for _, fr := range frames {
+		name := fmt.Sprintf("cold_%d_%d", fr[0], fr[1])
+		if err := eng.Register(windowTable(name, fr[0], fr[1], 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range windowModes {
+		res, err := eng.Query("SELECT sum(v) OVER (ROWS 100000 TUMBLING), avg(v), qm(v) FROM ticks", m.mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Table.NumRows() != len(frames) {
+			t.Fatalf("%s: emitted %d windows, want %d", m.name, res.Table.NumRows(), len(frames))
+		}
+		for e, fr := range frames {
+			cold, err := eng.Query(fmt.Sprintf("SELECT sum(v), avg(v), qm(v) FROM cold_%d_%d", fr[0], fr[1]), m.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range res.Table.Cols {
+				if !bitsEqual(res.Table.Cols[c].F[e], cold.Table.Cols[c].F[0]) {
+					t.Fatalf("%s window %d col %d: %v != cold %v",
+						m.name, e, c, res.Table.Cols[c].F[e], cold.Table.Cols[c].F[0])
+				}
+			}
+		}
+	}
+}
+
+// TestWindowOutputShapes checks non-aggregate projections: bare columns
+// read at each frame's emit row with their type preserved, and mixed
+// expressions over aggregates and columns.
+func TestWindowOutputShapes(t *testing.T) {
+	eng := windowEngine(t, 20)
+	res, err := eng.Query(
+		"SELECT tag, k, sum(v) OVER (ROWS 3 PRECEDING) AS s, k + 1000", sudaf.Rewrite)
+	if err == nil {
+		t.Fatal("missing FROM should fail")
+	}
+	res, err = eng.Query(
+		"SELECT tag, k, sum(v) OVER (ROWS 3 PRECEDING) AS s, k + 1000 FROM ticks", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Table.NumRows(); got != 20 {
+		t.Fatalf("rows = %d, want 20", got)
+	}
+	tags := []string{"buy", "sell", "hold"}
+	for r := 0; r < 20; r++ {
+		if got := res.Table.Col("tag").StringAt(r); got != tags[r%3] {
+			t.Fatalf("row %d tag = %q, want %q", r, got, tags[r%3])
+		}
+		if got := res.Table.Col("k").AsInt(r); got != int64(r) {
+			t.Fatalf("row %d k = %d, want %d", r, got, r)
+		}
+		if got := res.Table.Cols[3].AsFloat(r); got != float64(r+1000) {
+			t.Fatalf("row %d k+1000 = %v", r, got)
+		}
+	}
+	if res.Table.Col("tag").Kind != sudaf.String || res.Table.Col("k").Kind != sudaf.Int {
+		t.Fatal("passthrough columns must keep their storage kind")
+	}
+}
+
+// TestWindowShareCaching pins Theorem 4.1 sharing over window partials:
+// a repeated share-mode windowed query is a full cache hit (no rows
+// scanned, bit-identical output), and a *different* UDAF over the same
+// frame reuses the cached per-emission state vectors.
+func TestWindowShareCaching(t *testing.T) {
+	eng := windowEngine(t, 40)
+	const sql = "SELECT qm(v) OVER (ROWS 4 PRECEDING) FROM ticks"
+	first, err := eng.Query(sql, sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.RowsScanned == 0 || first.FullCacheHit {
+		t.Fatalf("cold run must scan: scanned=%d fullHit=%v", first.RowsScanned, first.FullCacheHit)
+	}
+	second, err := eng.Query(sql, sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.FullCacheHit || second.RowsScanned != 0 {
+		t.Fatalf("warm run: fullHit=%v scanned=%d, want true/0", second.FullCacheHit, second.RowsScanned)
+	}
+	for r := range first.Table.Cols[0].F {
+		if !bitsEqual(first.Table.Cols[0].F[r], second.Table.Cols[0].F[r]) {
+			t.Fatalf("warm row %d differs from cold", r)
+		}
+	}
+
+	// msq needs exactly qm's states (sum(v^2), count) with a different
+	// terminating function: served entirely from the window cache.
+	if err := eng.DefineUDAF("msq", []string{"x"}, "sum(x^2)/count()"); err != nil {
+		t.Fatal(err)
+	}
+	third, err := eng.Query("SELECT msq(v) OVER (ROWS 4 PRECEDING) FROM ticks", sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.FullCacheHit || third.RowsScanned != 0 {
+		t.Fatalf("cross-UDAF window reuse: fullHit=%v scanned=%d", third.FullCacheHit, third.RowsScanned)
+	}
+	if third.Stats.CacheExactHits == 0 {
+		t.Fatalf("expected exact state hits, stats=%+v", third.Stats)
+	}
+	// A different frame must NOT hit the other frame's entry.
+	other, err := eng.Query("SELECT qm(v) OVER (ROWS 5 PRECEDING) FROM ticks", sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.FullCacheHit {
+		t.Fatal("different frame shape must not reuse window partials")
+	}
+
+	// An append invalidates window entries (frames shift): the next run
+	// must recompute, not serve stale vectors.
+	if _, err := eng.Append(context.Background(), "ticks", windowTable("ticks", 0, 3, 99)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := eng.Query(sql, sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.FullCacheHit || after.Table.NumRows() != 43 {
+		t.Fatalf("post-append: fullHit=%v rows=%d, want false/43", after.FullCacheHit, after.Table.NumRows())
+	}
+}
+
+// TestWindowScopeErrors pins the v1 windowed-query surface's error
+// messages.
+func TestWindowScopeErrors(t *testing.T) {
+	eng := windowEngine(t, 10)
+	cases := []struct {
+		sql, want string
+	}{
+		{"SELECT sum(v) OVER (EPOCHS 2 PRECEDING) FROM ticks", "EPOCHS windows require"},
+		{"SELECT sum(v) OVER (ROWS 2 PRECEDING) FROM ticks WHERE v > 0", "do not support WHERE"},
+		{"SELECT sum(v) OVER (ROWS 2 PRECEDING) FROM ticks GROUP BY tag", "GROUP BY"},
+		{"SELECT sum(v) OVER (ROWS 2 PRECEDING) FROM ticks ORDER BY v", "ORDER BY"},
+		{"SELECT sqrt(v) OVER (ROWS 2 PRECEDING) FROM ticks", "at least one aggregate"},
+		{"SELECT sum(v) FROM (SELECT v OVER (ROWS 2 PRECEDING) FROM ticks) s", ""},
+		{"SELECT sum(v) OVER (ROWS 2 PRECEDING), avg(v) OVER (ROWS 3 PRECEDING) FROM ticks", "conflicting OVER"},
+	}
+	for _, c := range cases {
+		_, err := eng.Query(c.sql, sudaf.Rewrite)
+		if err == nil {
+			t.Fatalf("%s: expected error", c.sql)
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not contain %q", c.sql, err, c.want)
+		}
+	}
+}
+
+// collectEmissions drains n results with a timeout.
+func collectEmissions(t *testing.T, sub *sudaf.Subscription, n int) []*sudaf.WindowResult {
+	t.Helper()
+	var out []*sudaf.WindowResult
+	timeout := time.After(20 * time.Second)
+	for len(out) < n {
+		select {
+		case wr, ok := <-sub.Results():
+			if !ok {
+				t.Fatalf("stream closed early after %d/%d results: %v", len(out), n, sub.Err())
+			}
+			out = append(out, wr)
+		case <-timeout:
+			t.Fatalf("timed out after %d/%d results", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestSubscribeSlidingDifferential: a sliding subscription fed by
+// appends must emit, across all batches, exactly the rows a one-shot
+// windowed query over the final table produces — bit-identical, in
+// order, with contiguous Seq.
+func TestSubscribeSlidingDifferential(t *testing.T) {
+	for _, m := range windowModes {
+		t.Run(m.name, func(t *testing.T) {
+			eng := sudaf.Open(sudaf.Options{Workers: 4})
+			if err := eng.Register(windowTable("s", 0, 5, 7)); err != nil {
+				t.Fatal(err)
+			}
+			sub, err := eng.Subscribe(context.Background(),
+				"SELECT sum(v) OVER (ROWS 3 PRECEDING), qm(v), k FROM s", m.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sub.Close()
+
+			// Deltas continue the same deterministic stream.
+			total := 5
+			batches := []int{1, 4, 2, 7, 3}
+			for _, k := range batches {
+				if _, err := eng.Append(context.Background(), "s",
+					windowTable("s", total, total+k, 7)); err != nil {
+					t.Fatal(err)
+				}
+				total += k
+			}
+
+			// 1 snapshot result + one per append.
+			results := collectEmissions(t, sub, 1+len(batches))
+			oneShot, err := eng.Query("SELECT sum(v) OVER (ROWS 3 PRECEDING), qm(v), k FROM s", m.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := 0
+			for i, wr := range results {
+				if wr.Seq != int64(i+1) {
+					t.Fatalf("result %d has Seq %d (gap)", i, wr.Seq)
+				}
+				if wr.FirstRow != row {
+					t.Fatalf("result %d FirstRow=%d, want %d (FIFO/exactly-once broken)", i, wr.FirstRow, row)
+				}
+				for r := 0; r < wr.Table.NumRows(); r++ {
+					for c := 0; c < 2; c++ {
+						if !bitsEqual(wr.Table.Cols[c].F[r], oneShot.Table.Cols[c].F[row]) {
+							t.Fatalf("emission row %d col %d: %v != one-shot %v",
+								row, c, wr.Table.Cols[c].F[r], oneShot.Table.Cols[c].F[row])
+						}
+					}
+					if wr.Table.Col("k").AsInt(r) != int64(row) {
+						t.Fatalf("emission row %d: k=%d", row, wr.Table.Col("k").AsInt(r))
+					}
+					row++
+				}
+			}
+			if row != total {
+				t.Fatalf("emitted %d rows total, want %d (exactly-once broken)", row, total)
+			}
+		})
+	}
+}
+
+// TestSubscribeTumbling: tumbling subscriptions emit one result per
+// completed bucket — including buckets whose boundary lands exactly on
+// an append boundary — and never the growing partial bucket.
+func TestSubscribeTumbling(t *testing.T) {
+	eng := sudaf.Open(sudaf.Options{Workers: 4})
+	if err := eng.Register(windowTable("s", 0, 4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := eng.Subscribe(context.Background(),
+		"SELECT sum(v) OVER (ROWS 4 TUMBLING), avg(v) FROM s", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// 4 seed rows (bucket 1 completes exactly at the snapshot), then
+	// appends of 4 (boundary-exact), 2+2 (bucket split across appends),
+	// 5 (bucket + 1 leftover row that must stay unemitted).
+	total := 4
+	for _, k := range []int{4, 2, 2, 5} {
+		if _, err := eng.Append(context.Background(), "s", windowTable("s", total, total+k, 7)); err != nil {
+			t.Fatal(err)
+		}
+		total += k
+	}
+	results := collectEmissions(t, sub, 4) // 17 rows → 4 complete buckets
+	oneShot, err := eng.Query("SELECT sum(v) OVER (ROWS 4 TUMBLING), avg(v) FROM s", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wr := range results {
+		if wr.Seq != int64(i+1) || wr.Table.NumRows() != 1 {
+			t.Fatalf("bucket %d: Seq=%d rows=%d", i, wr.Seq, wr.Table.NumRows())
+		}
+		if wr.FirstRow != i*4 || wr.LastRow != i*4+3 {
+			t.Fatalf("bucket %d covers [%d,%d], want [%d,%d]", i, wr.FirstRow, wr.LastRow, i*4, i*4+3)
+		}
+		for c := 0; c < 2; c++ {
+			if !bitsEqual(wr.Table.Cols[c].F[0], oneShot.Table.Cols[c].F[i]) {
+				t.Fatalf("bucket %d col %d: %v != one-shot %v", i, c, wr.Table.Cols[c].F[0], oneShot.Table.Cols[c].F[i])
+			}
+		}
+	}
+	select {
+	case wr := <-sub.Results():
+		t.Fatalf("partial bucket must not emit, got Seq %d", wr.Seq)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestSubscribeEpochs: EPOCHS frames tick per append batch, whatever
+// its row count; sliding frames cover the last n+1 batches' rows.
+func TestSubscribeEpochs(t *testing.T) {
+	eng := sudaf.Open(sudaf.Options{Workers: 4})
+	if err := eng.Register(windowTable("s", 0, 3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := eng.Subscribe(context.Background(),
+		"SELECT sum(v) OVER (EPOCHS 1 PRECEDING), qm(v) FROM s", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	bounds := [][2]int{{0, 3}} // snapshot = tick 1
+	total := 3
+	for _, k := range []int{2, 5, 1} {
+		if _, err := eng.Append(context.Background(), "s", windowTable("s", total, total+k, 7)); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, [2]int{total, total + k})
+		total += k
+	}
+	results := collectEmissions(t, sub, len(bounds))
+	for i, wr := range results {
+		lo := bounds[i][0]
+		if i > 0 {
+			lo = bounds[i-1][0] // last 2 ticks
+		}
+		hi := bounds[i][1]
+		if wr.FirstRow != lo || wr.LastRow != hi-1 || wr.Table.NumRows() != 1 {
+			t.Fatalf("tick %d: [%d,%d] rows=%d, want [%d,%d]", i, wr.FirstRow, wr.LastRow, wr.Table.NumRows(), lo, hi-1)
+		}
+		// Differential: cold query over exactly the window's rows.
+		name := fmt.Sprintf("epoch_cold_%d", i)
+		if err := eng.Register(windowTable(name, lo, hi, 7)); err != nil {
+			t.Fatal(err)
+		}
+		cold, err := eng.Query("SELECT sum(v), qm(v) FROM "+name, sudaf.Rewrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 2; c++ {
+			if !bitsEqual(wr.Table.Cols[c].F[0], cold.Table.Cols[c].F[0]) {
+				t.Fatalf("tick %d col %d: %v != cold %v", i, c, wr.Table.Cols[c].F[0], cold.Table.Cols[c].F[0])
+			}
+		}
+	}
+}
+
+// TestSubscribeBoundaryAppendRace is the window-boundary race pin:
+// appends landing exactly on bucket boundaries while the stream drains
+// slowly must produce no torn windows, no duplicates, no gaps — Seq
+// contiguous, buckets covering [0,total) exactly once, every value
+// bit-identical to the one-shot query.
+func TestSubscribeBoundaryAppendRace(t *testing.T) {
+	eng := sudaf.Open(sudaf.Options{Workers: 4})
+	if err := eng.Register(windowTable("s", 0, 2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := eng.Subscribe(context.Background(),
+		"SELECT sum(v) OVER (ROWS 2 TUMBLING) FROM s", sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	const appends = 60
+	totalCh := make(chan int)
+	go func() {
+		total := 2
+		for i := 0; i < appends; i++ {
+			k := 1 + i%3 // 1, 2 (boundary-exact), 3 — drifting across boundaries
+			if _, err := eng.Append(context.Background(), "s", windowTable("s", total, total+k, 7)); err != nil {
+				t.Error(err)
+				break
+			}
+			total += k
+		}
+		totalCh <- total
+	}()
+
+	var results []*sudaf.WindowResult
+	var total int
+	timeout := time.After(30 * time.Second)
+	done := false
+	for !done {
+		select {
+		case wr, ok := <-sub.Results():
+			if !ok {
+				t.Fatalf("stream closed early: %v", sub.Err())
+			}
+			results = append(results, wr)
+			time.Sleep(time.Millisecond) // slow consumer: force queueing
+			if total > 0 && len(results) == total/2 {
+				done = true
+			}
+		case total = <-totalCh:
+			totalCh = nil
+			if len(results) >= total/2 {
+				done = true
+			}
+		case <-timeout:
+			t.Fatalf("timed out with %d results", len(results))
+		}
+	}
+	if totalCh != nil {
+		total = <-totalCh
+	}
+	oneShot, err := eng.Query("SELECT sum(v) OVER (ROWS 2 TUMBLING) FROM s", sudaf.Share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != total/2 {
+		t.Fatalf("got %d buckets, want %d", len(results), total/2)
+	}
+	for i, wr := range results {
+		if wr.Seq != int64(i+1) {
+			t.Fatalf("bucket %d: Seq=%d (gap or duplicate)", i, wr.Seq)
+		}
+		if wr.FirstRow != i*2 || wr.LastRow != i*2+1 {
+			t.Fatalf("bucket %d covers [%d,%d] (torn window)", i, wr.FirstRow, wr.LastRow)
+		}
+		if !bitsEqual(wr.Table.Cols[0].F[0], oneShot.Table.Cols[0].F[i]) {
+			t.Fatalf("bucket %d: %v != one-shot %v", i, wr.Table.Cols[0].F[0], oneShot.Table.Cols[0].F[i])
+		}
+	}
+}
+
+// TestSubscribeLifecycle covers the close paths: plain Close ends the
+// stream with nil Err; engine Close ends every subscription; Subscribe
+// after Close fails fast; EPOCHS one-shot stays rejected while the same
+// statement subscribes fine.
+func TestSubscribeLifecycle(t *testing.T) {
+	eng := sudaf.Open(sudaf.Options{Workers: 2})
+	if err := eng.Register(windowTable("s", 0, 6, 7)); err != nil {
+		t.Fatal(err)
+	}
+	const sql = "SELECT sum(v) OVER (EPOCHS 2 TUMBLING) FROM s"
+	if _, err := eng.Query(sql, sudaf.Rewrite); err == nil {
+		t.Fatal("EPOCHS one-shot query must be rejected")
+	}
+	sub, err := eng.Subscribe(context.Background(), sql, sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	sub.Close() // idempotent
+	if _, ok := <-sub.Results(); ok {
+		t.Fatal("Results must be closed after Close")
+	}
+	if sub.Err() != nil {
+		t.Fatalf("plain Close must leave Err nil, got %v", sub.Err())
+	}
+
+	sub2, err := eng.Subscribe(context.Background(),
+		"SELECT sum(v) OVER (ROWS 2 PRECEDING) FROM s", sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectEmissions(t, sub2, 1)
+	if got[0].Table.NumRows() != 6 {
+		t.Fatalf("snapshot emitted %d rows, want 6", got[0].Table.NumRows())
+	}
+	if err := eng.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub2.Results(); ok {
+		t.Fatal("engine Close must close subscription streams")
+	}
+	if _, err := eng.Subscribe(context.Background(),
+		"SELECT sum(v) OVER (ROWS 2 PRECEDING) FROM s", sudaf.Rewrite); err == nil {
+		t.Fatal("Subscribe after Close must fail")
+	}
+}
+
+// TestWindowChaos arms the window fault points: a one-shot windowed
+// query fails cleanly, a subscription surfaces the fault via Err after
+// closing its stream, and the engine stays healthy afterwards.
+func TestWindowChaos(t *testing.T) {
+	defer faultinject.Reset()
+	eng := windowEngine(t, 30)
+	const sql = "SELECT sum(v) OVER (ROWS 3 PRECEDING) FROM ticks"
+
+	faultinject.Arm(faultinject.PointWindowEvict, faultinject.Spec{Kind: faultinject.KindError})
+	if _, err := eng.Query(sql, sudaf.Rewrite); err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("armed window.evict: err=%v", err)
+	}
+	faultinject.Reset()
+
+	faultinject.Arm(faultinject.PointWindowEmit, faultinject.Spec{Kind: faultinject.KindError})
+	if _, err := eng.Query(sql, sudaf.Baseline); err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("armed window.emit (baseline): err=%v", err)
+	}
+	sub, err := eng.Subscribe(context.Background(), sql, sudaf.Rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.Results():
+			if !ok {
+				if sub.Err() == nil || !errors.Is(sub.Err(), faultinject.ErrInjected) {
+					t.Fatalf("subscription Err=%v, want injected fault", sub.Err())
+				}
+				goto healthy
+			}
+		case <-deadline:
+			t.Fatal("faulted subscription never closed its stream")
+		}
+	}
+healthy:
+	sub.Close()
+	faultinject.Reset()
+	if _, err := eng.Query(sql, sudaf.Rewrite); err != nil {
+		t.Fatalf("engine unhealthy after window chaos: %v", err)
+	}
+}
